@@ -1,0 +1,89 @@
+// Quickstart: solve the Brusselator with the load-balanced asynchronous
+// (AIAC) algorithm on a small simulated cluster, and inspect the result.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+//
+// This walks through the three layers of the library:
+//   1. define the problem          (aiac::ode::Brusselator)
+//   2. describe the machines      (aiac::grid::make_homogeneous_cluster)
+//   3. run a parallel scheme      (aiac::core::run_simulated)
+#include <cstdio>
+#include <iostream>
+
+#include "core/sim_engine.hpp"
+#include "grid/grid.hpp"
+#include "ode/brusselator.hpp"
+#include "ode/integrators.hpp"
+
+int main() {
+  using namespace aiac;
+
+  // 1. The Brusselator reaction-diffusion problem (paper §4): N grid
+  //    points, i.e. 2N coupled stiff ODE components, on t in [0, 10].
+  ode::Brusselator::Params problem;
+  problem.grid_points = 64;
+  const ode::Brusselator system(problem);
+  std::cout << "Brusselator with N = " << problem.grid_points << " ("
+            << system.dimension() << " components), alpha(N+1)^2 = "
+            << system.diffusion() << "\n";
+
+  // 2. Four simulated workstations on a LAN, each shared with other users
+  //    (availability fluctuates over time).
+  grid::HomogeneousClusterParams cluster;
+  cluster.processes = 4;
+  cluster.multi_user = true;
+  cluster.seed = 2003;
+  auto machines = grid::make_homogeneous_cluster(cluster);
+
+  // 3. The asynchronous scheme with residual-driven load balancing
+  //    (paper Algorithm 4): each virtual processor owns a block of
+  //    components, iterates without waiting, and periodically ships
+  //    components to its lightest-loaded neighbor.
+  core::EngineConfig config;
+  config.scheme = core::Scheme::kAIAC;
+  config.num_steps = 100;  // dt = 0.1
+  config.t_end = 10.0;
+  config.tolerance = 1e-6;
+  config.load_balancing = true;
+  config.balancer.trigger_period = 2;
+  config.balancer.threshold_ratio = 1.5;
+
+  const auto result = core::run_simulated(system, *machines, config);
+  if (!result.converged) {
+    std::cerr << "did not converge!\n";
+    return 1;
+  }
+  std::cout << "converged in " << result.execution_time
+            << " virtual seconds; " << result.total_iterations
+            << " iterations across processors, " << result.migrations
+            << " component migrations\n";
+  std::cout << "final component distribution:";
+  for (std::size_t c : result.final_components) std::cout << ' ' << c;
+  std::cout << "\n\n";
+
+  // The solution: concentration trajectories. Print the mid-domain
+  // (u, v) orbit — the Brusselator's limit cycle (paper §4).
+  const std::size_t mid = problem.grid_points / 2;
+  std::cout << "mid-domain orbit (t, u, v):\n";
+  for (std::size_t step = 0; step <= config.num_steps;
+       step += config.num_steps / 10) {
+    const double t =
+        config.t_end * static_cast<double>(step) /
+        static_cast<double>(config.num_steps);
+    std::printf("  t=%5.1f  u=%8.5f  v=%8.5f\n", t,
+                result.solution.at(2 * mid, step),
+                result.solution.at(2 * mid + 1, step));
+  }
+
+  // Cross-check against the sequential implicit Euler reference.
+  ode::IntegrationOptions reference;
+  reference.t_end = config.t_end;
+  reference.num_steps = config.num_steps;
+  const auto sequential = ode::implicit_euler_integrate(system, reference);
+  std::cout << "\nmax deviation from the sequential implicit-Euler "
+            << "reference: "
+            << result.solution.max_abs_diff(sequential.trajectory) << "\n";
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Virtual-time engine: executes the (optionally load-balanced) parallel
+// iterative algorithm of the paper on a simulated grid.
+//
+// The numerical work is real — each virtual processor owns a WaveformBlock
+// and performs genuine Newton/implicit-Euler computation — while time is
+// accounted by a deterministic discrete-event simulation: an iteration
+// that consumed `w` Newton work units on processor p started at virtual
+// time t occupies [t, t + w / effective_speed_p(t)); a message of b bytes
+// from p to q sent at t arrives at t + latency + b/bandwidth (jittered).
+// See DESIGN.md for why this substitution preserves the paper's
+// measurements on a single-core host.
+//
+// Scheme semantics (paper §1.2):
+//  * SISC — a processor starts iteration k+1 only after receiving both
+//    neighbors' iteration-k boundary data, all of which is sent at the end
+//    of an iteration.
+//  * SIAC — same readiness rule, but the leftward data leaves early in the
+//    iteration (partial overlap of communication by computation).
+//  * AIAC — a processor starts its next iteration immediately with
+//    whatever data has arrived; sends are skipped while a previous send on
+//    the same link is still in flight (the paper's mutual-exclusion
+//    variant, Fig. 4).
+#pragma once
+
+#include "core/config.hpp"
+#include "grid/grid.hpp"
+#include "ode/ode_system.hpp"
+#include "trace/execution_trace.hpp"
+
+namespace aiac::core {
+
+/// Runs the configured scheme on `grid` (one logical processor per grid
+/// rank, organized as a chain over the component space) and returns the
+/// measurements. If `trace` is non-null, iteration/message/migration
+/// records are appended to it.
+EngineResult run_simulated(const ode::OdeSystem& system, grid::Grid& grid,
+                           const EngineConfig& config,
+                           trace::ExecutionTrace* trace = nullptr);
+
+}  // namespace aiac::core

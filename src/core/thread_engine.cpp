@@ -1,0 +1,391 @@
+#include "core/thread_engine.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <numeric>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "lb/iterative_schemes.hpp"
+#include "ode/waveform.hpp"
+#include "ode/waveform_block.hpp"
+#include "runtime/mailbox.hpp"
+#include "runtime/notifier.hpp"
+#include "runtime/thread_team.hpp"
+#include "util/log.hpp"
+
+namespace aiac::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct ThreadProc {
+  std::unique_ptr<ode::WaveformBlock> block;
+  std::mutex block_mutex;  // Algorithm 7: "if not accessing data array"
+  runtime::Notifier notifier;
+  runtime::SlotBox<ode::BoundaryMessage> from_left{&notifier};
+  runtime::SlotBox<ode::BoundaryMessage> from_right{&notifier};
+  runtime::Mailbox<ode::MigrationPayload> lb_from_left{&notifier};
+  runtime::Mailbox<ode::MigrationPayload> lb_from_right{&notifier};
+
+  std::atomic<std::size_t> iteration{0};
+  std::atomic<double> residual{std::numeric_limits<double>::infinity()};
+  std::atomic<double> load{0.0};
+  std::atomic<bool> locally_converged{false};
+
+  // Thread-local (only the owner touches these).
+  std::size_t ok_to_try_lb = 20;
+  std::size_t under_tol_streak = 0;
+  std::size_t left_data_iteration = 0;
+  std::size_t right_data_iteration = 0;
+  double left_load = -1.0;   // < 0: unknown
+  double right_load = -1.0;
+  double last_iteration_seconds = 0.0;
+  double last_iteration_work = 0.0;
+  double total_work = 0.0;
+  std::size_t data_messages = 0;
+  std::size_t migrations_out = 0;
+  std::size_t components_out = 0;
+  std::size_t bytes_out = 0;
+};
+
+class ThreadEngine {
+ public:
+  ThreadEngine(const ode::OdeSystem& system, std::size_t processors,
+               const EngineConfig& config)
+      : system_(system), config_(config), nprocs_(processors) {
+    if (processors == 0)
+      throw std::invalid_argument("run_threaded: zero processors");
+    estimator_ = lb::make_estimator(config.estimator);
+    balancer_ = std::make_unique<lb::NeighborBalancer>(config.balancer);
+    stencil_ = system.stencil_halfwidth();
+    min_keep_ = std::max(config.balancer.min_components, stencil_ + 1);
+
+    const auto starts = ode::even_partition(system.dimension(), processors);
+    procs_ = std::vector<ThreadProc>(processors);
+    for (std::size_t p = 0; p < processors; ++p) {
+      ode::WaveformBlockConfig bc;
+      bc.first = starts[p];
+      bc.count = starts[p + 1] - starts[p];
+      if (bc.count < stencil_ + 1)
+        throw std::invalid_argument(
+            "run_threaded: partition too fine for the stencil");
+      bc.num_steps = config.num_steps;
+      bc.t_end = config.t_end;
+      bc.mode = config.solve_mode;
+      bc.newton = config.newton;
+      bc.receive_filter = config.tolerance * config.receive_filter_factor;
+      procs_[p].block = std::make_unique<ode::WaveformBlock>(system, bc);
+      procs_[p].ok_to_try_lb = config.balancer.trigger_period;
+    }
+    lb_link_busy_ =
+        std::make_unique<std::atomic<bool>[]>(processors > 0 ? processors : 1);
+    for (std::size_t i = 0; i + 1 < processors; ++i) lb_link_busy_[i] = false;
+  }
+
+  EngineResult run() {
+    const auto t0 = Clock::now();
+    {
+      runtime::ThreadTeam team;
+      team.spawn(nprocs_, [this](std::size_t rank) { worker(rank); });
+      team.join();
+    }
+    const auto t1 = Clock::now();
+
+    EngineResult result;
+    result.converged = halt_.load() && !failed_.load();
+    result.execution_time = std::chrono::duration<double>(t1 - t0).count();
+    // Drain any payload still sitting in a mailbox so the solution covers
+    // every component (can only happen on a failure stop).
+    for (std::size_t p = 0; p < nprocs_; ++p) {
+      while (auto payload = procs_[p].lb_from_left.try_pop())
+        procs_[p].block->absorb_from_left(*payload);
+      while (auto payload = procs_[p].lb_from_right.try_pop())
+        procs_[p].block->absorb_from_right(*payload);
+    }
+    result.solution = ode::Trajectory(system_.dimension(), config_.num_steps);
+    for (auto& proc : procs_) proc.block->copy_local_into(result.solution);
+    for (auto& proc : procs_) {
+      result.total_iterations += proc.iteration.load();
+      result.iterations_per_processor.push_back(proc.iteration.load());
+      result.final_components.push_back(proc.block->count());
+      result.total_work += proc.total_work;
+      result.data_messages += proc.data_messages;
+      result.migrations += proc.migrations_out;
+      result.components_migrated += proc.components_out;
+      result.bytes_sent += proc.bytes_out;
+      const double r = proc.residual.load();
+      if (!std::isinf(r))
+        result.final_max_residual = std::max(result.final_max_residual, r);
+    }
+    result.lb_messages = result.migrations;
+    return result;
+  }
+
+ private:
+  void worker(std::size_t p) {
+    ThreadProc& proc = procs_[p];
+    while (!halt_.load(std::memory_order_acquire)) {
+      bool external_input = false;
+      ode::WaveformBlock::IterationStats stats;
+      ode::BoundaryMessage out_left;
+      ode::BoundaryMessage out_right;
+      {
+        std::lock_guard<std::mutex> lock(proc.block_mutex);
+        external_input |= absorb_migrations(p, proc);
+        external_input |= incorporate_boundaries(p, proc);
+        const auto start = Clock::now();
+        stats = proc.block->iterate();
+        proc.last_iteration_seconds =
+            std::chrono::duration<double>(Clock::now() - start).count();
+        if (p > 0) out_left = proc.block->boundary_for_left();
+        if (p + 1 < nprocs_) out_right = proc.block->boundary_for_right();
+      }
+      proc.last_iteration_work = stats.work;
+      proc.total_work += stats.work;
+      proc.iteration.fetch_add(1);
+      proc.residual.store(stats.residual);
+      publish_load(proc);
+      if (stats.residual <= config_.tolerance && !external_input)
+        ++proc.under_tol_streak;
+      else if (stats.residual <= config_.tolerance)
+        proc.under_tol_streak = 1;
+      else
+        proc.under_tol_streak = 0;
+      proc.locally_converged.store(proc.under_tol_streak >=
+                                   config_.persistence);
+
+      send_boundaries(p, proc, out_left, out_right);
+      if (config_.load_balancing) try_load_balance(p, proc);
+      if (p == 0) leader_detection();
+
+      if (proc.iteration.load() >= config_.max_iterations_per_processor) {
+        failed_.store(true);
+        halt_.store(true, std::memory_order_release);
+        wake_all();
+        break;
+      }
+
+      if (config_.scheme == Scheme::kAIAC) {
+        idle_if_quiescent(p, proc, stats);
+      } else {
+        wait_for_neighbor_data(p, proc);
+      }
+    }
+  }
+
+  bool absorb_migrations(std::size_t p, ThreadProc& proc) {
+    bool any = false;
+    while (auto payload = proc.lb_from_left.try_pop()) {
+      proc.block->absorb_from_left(*payload);
+      lb_link_busy_[p - 1].store(false);
+      any = true;
+    }
+    while (auto payload = proc.lb_from_right.try_pop()) {
+      proc.block->absorb_from_right(*payload);
+      lb_link_busy_[p].store(false);
+      any = true;
+    }
+    return any;
+  }
+
+  bool incorporate_boundaries(std::size_t p, ThreadProc& proc) {
+    bool any = false;
+    if (auto msg = proc.from_left.take()) {
+      any |= proc.block->accept_left_ghosts(*msg);
+      proc.left_data_iteration =
+          std::max(proc.left_data_iteration, msg->sender_iteration);
+      proc.left_load = msg->sender_load;
+      (void)p;
+    }
+    if (auto msg = proc.from_right.take()) {
+      any |= proc.block->accept_right_ghosts(*msg);
+      proc.right_data_iteration =
+          std::max(proc.right_data_iteration, msg->sender_iteration);
+      proc.right_load = msg->sender_load;
+    }
+    return any;
+  }
+
+  void publish_load(ThreadProc& proc) {
+    lb::NodeLoadInputs inputs;
+    const double r = proc.residual.load();
+    inputs.residual = std::isinf(r) ? 1.0 : r;
+    inputs.last_iteration_seconds = proc.last_iteration_seconds;
+    inputs.last_iteration_work = proc.last_iteration_work;
+    inputs.components = proc.block->count();
+    proc.load.store(estimator_->estimate(inputs));
+  }
+
+  void send_boundaries(std::size_t p, ThreadProc& proc,
+                       ode::BoundaryMessage& left,
+                       ode::BoundaryMessage& right) {
+    const auto stamp = [&](ode::BoundaryMessage& msg) {
+      msg.sender_iteration = proc.iteration.load();
+      msg.sender_components = proc.block->count();
+      msg.sender_load = proc.load.load();
+      msg.sender_residual = proc.residual.load();
+    };
+    if (p > 0) {
+      stamp(left);
+      proc.bytes_out += left.byte_size();
+      ++proc.data_messages;
+      procs_[p - 1].from_right.put(std::move(left));
+    }
+    if (p + 1 < nprocs_) {
+      stamp(right);
+      proc.bytes_out += right.byte_size();
+      ++proc.data_messages;
+      procs_[p + 1].from_left.put(std::move(right));
+    }
+  }
+
+  void try_load_balance(std::size_t p, ThreadProc& proc) {
+    if (proc.ok_to_try_lb > 0) {
+      --proc.ok_to_try_lb;
+      return;
+    }
+    lb::BalanceView view;
+    view.my_load = proc.load.load();
+    view.my_components = proc.block->count();
+    if (p > 0 && proc.left_load >= 0.0) {
+      view.left_load = proc.left_load;
+      view.left_link_busy = lb_link_busy_[p - 1].load();
+    }
+    if (p + 1 < nprocs_ && proc.right_load >= 0.0) {
+      view.right_load = proc.right_load;
+      view.right_link_busy = lb_link_busy_[p].load();
+    }
+    const auto decision = balancer_->decide(view);
+    if (decision.action == lb::BalanceDecision::Action::kNone) return;
+    const bool to_left =
+        decision.action == lb::BalanceDecision::Action::kSendLeft;
+    const std::size_t link = to_left ? p - 1 : p;
+
+    // Claim the link first so two neighbors cannot start crossing
+    // migrations; compare-exchange makes the claim atomic.
+    bool expected = false;
+    if (!lb_link_busy_[link].compare_exchange_strong(expected, true)) return;
+
+    std::optional<ode::MigrationPayload> payload;
+    {
+      std::lock_guard<std::mutex> lock(proc.block_mutex);
+      const std::size_t count = proc.block->count();
+      std::size_t amount = decision.amount;
+      if (count > min_keep_) amount = std::min(amount, count - min_keep_);
+      else amount = 0;
+      if (amount > 0) {
+        payload = to_left ? proc.block->extract_for_left(amount)
+                          : proc.block->extract_for_right(amount);
+      }
+    }
+    if (!payload) {
+      lb_link_busy_[link].store(false);
+      return;
+    }
+    proc.ok_to_try_lb = config_.balancer.trigger_period;
+    ++proc.migrations_out;
+    proc.components_out += payload->owned_count;
+    proc.bytes_out += payload->byte_size();
+    AIAC_DEBUG("thread-lb") << "proc " << p << " sends "
+                            << payload->owned_count << " components "
+                            << (to_left ? "left" : "right");
+    if (to_left)
+      procs_[p - 1].lb_from_right.push(std::move(*payload));
+    else
+      procs_[p + 1].lb_from_left.push(std::move(*payload));
+  }
+
+  void leader_detection() {
+    for (const auto& proc : procs_)
+      if (!proc.locally_converged.load()) return;
+    for (std::size_t i = 0; i + 1 < nprocs_; ++i)
+      if (lb_link_busy_[i].load()) return;
+    for (const auto& proc : procs_)
+      if (!proc.lb_from_left.empty() || !proc.lb_from_right.empty()) return;
+    // Verify interface consistency under locks (ascending rank order; the
+    // only multi-lock in the program, so no deadlock is possible).
+    std::vector<std::unique_lock<std::mutex>> locks;
+    locks.reserve(nprocs_);
+    for (auto& proc : procs_)
+      locks.emplace_back(proc.block_mutex);
+    for (std::size_t pi = 0; pi + 1 < nprocs_; ++pi) {
+      if (procs_[pi].block->interface_gap_with_right(*procs_[pi + 1].block) >
+          config_.tolerance)
+        return;
+    }
+    halt_.store(true, std::memory_order_release);
+    locks.clear();
+    wake_all();
+  }
+
+  void idle_if_quiescent(std::size_t p, ThreadProc& proc,
+                         const ode::WaveformBlock::IterationStats& stats) {
+    const bool no_progress =
+        stats.residual == 0.0 && stats.newton_iterations == 0;
+    if (!no_progress) return;
+    if (p != 0) {
+      // Sleep until a message arrives (event-driven idling; rank 0 keeps
+      // polling because it runs the detection).
+      proc.notifier.wait_for(std::chrono::milliseconds(2), [&] {
+        return halt_.load() || proc.from_left.has_value() ||
+               proc.from_right.has_value() || !proc.lb_from_left.empty() ||
+               !proc.lb_from_right.empty();
+      });
+    }
+  }
+
+  void wait_for_neighbor_data(std::size_t p, ThreadProc& proc) {
+    // SISC/SIAC readiness: both neighbors' data updated at (or after) our
+    // just-completed iteration must have been incorporated before the next
+    // one starts (paper §1.2).
+    const std::size_t needed = proc.iteration.load();
+    const auto ready = [&] {
+      const bool left_ok = p == 0 || proc.left_data_iteration >= needed;
+      const bool right_ok =
+          p + 1 == nprocs_ || proc.right_data_iteration >= needed;
+      return left_ok && right_ok;
+    };
+    while (!halt_.load() && !ready()) {
+      proc.notifier.wait_for(std::chrono::milliseconds(100), [&] {
+        return halt_.load() || proc.from_left.has_value() ||
+               proc.from_right.has_value();
+      });
+      std::lock_guard<std::mutex> lock(proc.block_mutex);
+      (void)incorporate_boundaries(p, proc);
+    }
+  }
+
+  const ode::OdeSystem& system_;
+  EngineConfig config_;
+  std::size_t nprocs_;
+  std::unique_ptr<lb::LoadEstimator> estimator_;
+  std::unique_ptr<lb::NeighborBalancer> balancer_;
+  std::size_t stencil_ = 0;
+  std::size_t min_keep_ = 0;
+  std::vector<ThreadProc> procs_;
+  std::unique_ptr<std::atomic<bool>[]> lb_link_busy_;
+  std::atomic<bool> halt_{false};
+  std::atomic<bool> failed_{false};
+
+  void wake_all() {
+    for (auto& proc : procs_) proc.notifier.notify();
+  }
+};
+
+}  // namespace
+
+EngineResult run_threaded(const ode::OdeSystem& system,
+                          std::size_t processors,
+                          const EngineConfig& config) {
+  ThreadEngine engine(system, processors, config);
+  return engine.run();
+}
+
+}  // namespace aiac::core

@@ -1,0 +1,136 @@
+#include "grid/grid.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace aiac::grid {
+
+Grid::Grid(std::vector<std::unique_ptr<Machine>> machines,
+           NetworkModel network, std::vector<std::size_t> rank_to_machine,
+           util::Rng net_rng)
+    : machines_(std::move(machines)),
+      network_(std::move(network)),
+      rank_to_machine_(std::move(rank_to_machine)),
+      net_rng_(net_rng) {
+  if (machines_.empty()) throw std::invalid_argument("Grid: no machines");
+  if (network_.machine_count() != machines_.size())
+    throw std::invalid_argument("Grid: network size mismatch");
+  for (std::size_t m : rank_to_machine_)
+    if (m >= machines_.size())
+      throw std::invalid_argument("Grid: rank mapped to unknown machine");
+}
+
+Machine& Grid::machine_of(std::size_t rank) {
+  return *machines_.at(rank_to_machine_.at(rank));
+}
+
+const std::string& Grid::machine_name_of(std::size_t rank) const {
+  return machines_.at(rank_to_machine_.at(rank))->name();
+}
+
+std::size_t Grid::machine_index_of(std::size_t rank) const {
+  return rank_to_machine_.at(rank);
+}
+
+std::size_t Grid::site_of_rank(std::size_t rank) const {
+  return network_.site_of(rank_to_machine_.at(rank));
+}
+
+double Grid::compute_duration(std::size_t rank, double work, des::SimTime t,
+                              double resident) {
+  return machine_of(rank).compute_duration(work, t, resident);
+}
+
+double Grid::message_delay(std::size_t src, std::size_t dst,
+                           std::size_t bytes, des::SimTime t) {
+  return network_.transfer_time(machine_index_of(src), machine_index_of(dst),
+                                bytes, t, net_rng_);
+}
+
+std::unique_ptr<Grid> make_homogeneous_cluster(
+    const HomogeneousClusterParams& params) {
+  if (params.processes == 0)
+    throw std::invalid_argument("cluster needs at least one process");
+  util::Rng root(params.seed);
+  std::vector<std::unique_ptr<Machine>> machines;
+  machines.reserve(params.processes);
+  for (std::size_t i = 0; i < params.processes; ++i) {
+    std::unique_ptr<AvailabilityModel> load;
+    if (params.multi_user) {
+      load = std::make_unique<OnOffAvailability>(params.load,
+                                                 root.split(i).split("load"));
+    } else {
+      load = std::make_unique<ConstantAvailability>(1.0);
+    }
+    machines.push_back(std::make_unique<Machine>(
+        "node" + std::to_string(i), params.machine_speed, std::move(load),
+        params.memory));
+  }
+  NetworkModel net(std::vector<std::size_t>(params.processes, 0), params.lan,
+                   params.lan);
+  std::vector<std::size_t> mapping(params.processes);
+  for (std::size_t i = 0; i < params.processes; ++i) mapping[i] = i;
+  return std::make_unique<Grid>(std::move(machines), std::move(net),
+                                std::move(mapping), root.split("net"));
+}
+
+std::unique_ptr<Grid> make_heterogeneous_grid(
+    const HeterogeneousGridParams& params) {
+  if (params.machines == 0 || params.sites == 0)
+    throw std::invalid_argument("grid needs machines and sites");
+  if (params.speed_spread < 1.0)
+    throw std::invalid_argument("speed_spread must be >= 1");
+  util::Rng root(params.seed);
+  util::Rng speed_rng = root.split("speeds");
+
+  std::vector<std::unique_ptr<Machine>> machines;
+  std::vector<std::size_t> site_of(params.machines);
+  machines.reserve(params.machines);
+  for (std::size_t i = 0; i < params.machines; ++i) {
+    // Sites hold contiguous blocks of machines (machines of one site live
+    // in one lab); speeds spread uniformly across the range with the
+    // extremes guaranteed to appear.
+    site_of[i] = i * params.sites / params.machines;
+    double factor;
+    if (i == 0) {
+      factor = 1.0;
+    } else if (i + 1 == params.machines) {
+      factor = params.speed_spread;
+    } else {
+      factor = speed_rng.uniform(1.0, params.speed_spread);
+    }
+    std::unique_ptr<AvailabilityModel> load;
+    if (params.multi_user) {
+      load = std::make_unique<OnOffAvailability>(params.load,
+                                                 root.split(i).split("load"));
+    } else {
+      load = std::make_unique<ConstantAvailability>(1.0);
+    }
+    MemoryPressure memory = params.memory;
+    if (memory.capacity > 0.0) memory.capacity *= factor;
+    machines.push_back(std::make_unique<Machine>(
+        "site" + std::to_string(site_of[i]) + "-m" + std::to_string(i),
+        params.base_speed * factor, std::move(load), memory));
+  }
+  NetworkModel net(std::move(site_of), params.lan, params.wan);
+
+  std::vector<std::size_t> mapping;
+  mapping.reserve(params.machines);
+  if (params.irregular_mapping) {
+    // Interleave sites: take one machine from each site in turn, so
+    // consecutive ranks (chain neighbors) land on distinct sites.
+    std::vector<std::vector<std::size_t>> by_site(params.sites);
+    for (std::size_t m = 0; m < params.machines; ++m)
+      by_site[m * params.sites / params.machines].push_back(m);
+    for (std::size_t round = 0; mapping.size() < params.machines; ++round)
+      for (const auto& site_machines : by_site)
+        if (round < site_machines.size())
+          mapping.push_back(site_machines[round]);
+  } else {
+    for (std::size_t r = 0; r < params.machines; ++r) mapping.push_back(r);
+  }
+  return std::make_unique<Grid>(std::move(machines), std::move(net),
+                                std::move(mapping), root.split("net"));
+}
+
+}  // namespace aiac::grid

@@ -1,0 +1,101 @@
+#include "grid/machine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace aiac::grid {
+
+ConstantAvailability::ConstantAvailability(double value) : value_(value) {
+  if (!(value > 0.0 && value <= 1.0))
+    throw std::invalid_argument("availability must be in (0, 1]");
+}
+
+double ConstantAvailability::availability(des::SimTime) { return value_; }
+
+PiecewiseTrace::PiecewiseTrace(util::Rng rng, double initial_value)
+    : rng_(rng) {
+  segments_.push_back({0.0, initial_value});
+}
+
+double PiecewiseTrace::availability(des::SimTime t) {
+  if (t < 0.0) throw std::invalid_argument("availability: negative time");
+  while (horizon_ <= t) {
+    auto [duration, value] = next_segment(segments_.back().value, rng_);
+    if (!(duration > 0.0))
+      throw std::logic_error("PiecewiseTrace: non-positive segment");
+    horizon_ += duration;
+    segments_.push_back({horizon_, value});
+  }
+  // Binary search for the segment containing t: last start <= t.
+  auto it = std::upper_bound(
+      segments_.begin(), segments_.end(), t,
+      [](des::SimTime time, const Segment& s) { return time < s.start; });
+  return std::prev(it)->value;
+}
+
+OnOffAvailability::OnOffAvailability(Params params, util::Rng rng)
+    : PiecewiseTrace(rng, 1.0), params_(params) {
+  if (!(params.loaded_fraction > 0.0 && params.loaded_fraction <= 1.0))
+    throw std::invalid_argument("loaded_fraction must be in (0, 1]");
+  if (!(params.mean_idle_period > 0.0) || !(params.mean_busy_period > 0.0))
+    throw std::invalid_argument("mean periods must be positive");
+}
+
+std::pair<double, double> OnOffAvailability::next_segment(
+    double previous_value, util::Rng& rng) {
+  const bool was_idle = previous_value >= 1.0;
+  if (was_idle) {
+    // Entering a shared period.
+    return {rng.exponential(1.0 / params_.mean_busy_period),
+            params_.loaded_fraction};
+  }
+  return {rng.exponential(1.0 / params_.mean_idle_period), 1.0};
+}
+
+RandomWalkAvailability::RandomWalkAvailability(Params params, util::Rng rng)
+    : PiecewiseTrace(rng, std::clamp(params.mean, params.min, params.max)),
+      params_(params) {
+  if (!(params.min > 0.0 && params.min <= params.max && params.max <= 1.0))
+    throw std::invalid_argument("random walk bounds must satisfy 0<min<=max<=1");
+  if (!(params.step_period > 0.0))
+    throw std::invalid_argument("step_period must be positive");
+}
+
+std::pair<double, double> RandomWalkAvailability::next_segment(
+    double previous_value, util::Rng& rng) {
+  const double pulled =
+      previous_value + params_.reversion * (params_.mean - previous_value);
+  const double kicked = pulled + rng.normal(0.0, params_.volatility);
+  return {params_.step_period, std::clamp(kicked, params_.min, params_.max)};
+}
+
+Machine::Machine(std::string name, double speed,
+                 std::unique_ptr<AvailabilityModel> availability,
+                 MemoryPressure memory)
+    : name_(std::move(name)),
+      speed_(speed),
+      availability_(std::move(availability)),
+      memory_(memory) {
+  if (!(speed > 0.0)) throw std::invalid_argument("machine speed must be > 0");
+  if (!availability_)
+    throw std::invalid_argument("machine needs an availability model");
+}
+
+double Machine::effective_speed(des::SimTime t, double resident) {
+  double speed = speed_ * availability_->availability(t);
+  if (memory_.capacity > 0.0 && resident > memory_.capacity) {
+    const double excess = resident / memory_.capacity - 1.0;
+    speed /= 1.0 + memory_.penalty * excess;
+  }
+  return speed;
+}
+
+double Machine::compute_duration(double work, des::SimTime t,
+                                 double resident) {
+  if (work < 0.0) throw std::invalid_argument("negative work");
+  if (work == 0.0) return 0.0;
+  return work / effective_speed(t, resident);
+}
+
+}  // namespace aiac::grid

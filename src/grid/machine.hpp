@@ -1,0 +1,149 @@
+// Machine model: per-node compute speed plus a time-varying availability
+// trace modelling multi-user/multi-task background load (the paper's
+// heterogeneous machines "were subject to a multi-users utilization
+// directly influencing their load").
+//
+// Speeds are expressed in abstract work units per virtual second; the ODE
+// engine charges one work unit per scalar Newton iteration, so a machine
+// with speed s completes w Newton iterations in w / (s * availability)
+// virtual seconds.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "des/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace aiac::grid {
+
+/// Fraction of a machine's peak speed available to our process at a given
+/// virtual time; in (0, 1]. Implementations must be deterministic
+/// functions of (construction parameters, seed, t).
+class AvailabilityModel {
+ public:
+  virtual ~AvailabilityModel() = default;
+  /// Availability at virtual time t >= 0.
+  virtual double availability(des::SimTime t) = 0;
+};
+
+/// Always-available machine (dedicated node).
+class ConstantAvailability final : public AvailabilityModel {
+ public:
+  explicit ConstantAvailability(double value = 1.0);
+  double availability(des::SimTime t) override;
+
+ private:
+  double value_;
+};
+
+/// Piecewise-constant lazily generated trace; base for stochastic models.
+/// Segments are produced on demand and cached, so queries at arbitrary
+/// times are consistent and reproducible.
+class PiecewiseTrace : public AvailabilityModel {
+ public:
+  double availability(des::SimTime t) final;
+
+ protected:
+  explicit PiecewiseTrace(util::Rng rng, double initial_value);
+  /// Produces the next segment: duration (> 0) and its availability value.
+  virtual std::pair<double, double> next_segment(double previous_value,
+                                                 util::Rng& rng) = 0;
+
+ private:
+  struct Segment {
+    des::SimTime start;
+    double value;
+  };
+  util::Rng rng_;
+  std::vector<Segment> segments_;
+  des::SimTime horizon_ = 0.0;  // trace generated up to this time
+};
+
+/// Renewal on/off process: the machine alternates between "dedicated"
+/// periods (availability 1) and "shared" periods where other users take a
+/// slice (availability `loaded_fraction`). Period lengths are exponential.
+class OnOffAvailability final : public PiecewiseTrace {
+ public:
+  struct Params {
+    double mean_idle_period = 120.0;   // seconds at availability 1
+    double mean_busy_period = 60.0;    // seconds at loaded_fraction
+    double loaded_fraction = 0.5;      // availability when other users run
+  };
+  OnOffAvailability(Params params, util::Rng rng);
+
+ protected:
+  std::pair<double, double> next_segment(double previous_value,
+                                         util::Rng& rng) override;
+
+ private:
+  Params params_;
+};
+
+/// Mean-reverting bounded random walk, re-sampled every `step_period`
+/// seconds: models gradually drifting background load.
+class RandomWalkAvailability final : public PiecewiseTrace {
+ public:
+  struct Params {
+    double mean = 0.8;          // long-run availability
+    double volatility = 0.1;    // per-step normal kick
+    double reversion = 0.3;     // pull toward the mean per step
+    double min = 0.2;
+    double max = 1.0;
+    double step_period = 30.0;  // seconds between re-samples
+  };
+  RandomWalkAvailability(Params params, util::Rng rng);
+
+ protected:
+  std::pair<double, double> next_segment(double previous_value,
+                                         util::Rng& rng) override;
+
+ private:
+  Params params_;
+};
+
+/// Optional memory-pressure model: a machine holding more resident state
+/// than its capacity starts paging and slows down superlinearly. 2003-era
+/// grid nodes had wildly different memory sizes; an even component
+/// distribution could push the small machines into swap — one hypothesis
+/// for the very large balancing gains the paper reports (EXPERIMENTS.md).
+struct MemoryPressure {
+  /// Resident capacity in components; <= 0 disables the model.
+  double capacity = 0.0;
+  /// Slowdown slope beyond capacity: speed /= 1 + penalty*(excess ratio).
+  double penalty = 8.0;
+};
+
+/// A compute node of the (virtual) grid.
+class Machine {
+ public:
+  /// `speed`: peak work units per second (relative machine power; the
+  /// paper's nodes range from a PII 400MHz to an Athlon 1.4GHz, i.e. a
+  /// ~3.5x spread).
+  Machine(std::string name, double speed,
+          std::unique_ptr<AvailabilityModel> availability,
+          MemoryPressure memory = {});
+
+  const std::string& name() const noexcept { return name_; }
+  double peak_speed() const noexcept { return speed_; }
+  const MemoryPressure& memory() const noexcept { return memory_; }
+
+  /// Instantaneous effective speed at time t with `resident` components
+  /// held in memory.
+  double effective_speed(des::SimTime t, double resident = 0.0);
+
+  /// Virtual seconds needed to execute `work` units starting at time t.
+  /// Availability is sampled at the start of the burst (bursts in this
+  /// codebase are single inner iterations, short relative to load shifts).
+  double compute_duration(double work, des::SimTime t, double resident = 0.0);
+
+ private:
+  std::string name_;
+  double speed_;
+  std::unique_ptr<AvailabilityModel> availability_;
+  MemoryPressure memory_;
+};
+
+}  // namespace aiac::grid

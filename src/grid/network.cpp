@@ -1,0 +1,66 @@
+#include "grid/network.hpp"
+
+#include <cmath>
+
+namespace aiac::grid {
+
+LinkParams fast_ethernet_lan() {
+  return LinkParams{.latency = 1e-4, .bandwidth = 12.5e6, .jitter_sigma = 0.05};
+}
+
+LinkParams campus_wan() {
+  return LinkParams{.latency = 15e-3, .bandwidth = 1.0e6, .jitter_sigma = 0.4};
+}
+
+LinkParams loaded_wan() {
+  return LinkParams{.latency = 40e-3, .bandwidth = 250e3, .jitter_sigma = 0.6};
+}
+
+NetworkModel::NetworkModel(std::vector<std::size_t> site_of,
+                           LinkParams intra_site, LinkParams inter_site)
+    : site_of_(std::move(site_of)), intra_(intra_site), inter_(inter_site) {
+  if (site_of_.empty())
+    throw std::invalid_argument("NetworkModel: no machines");
+}
+
+std::size_t NetworkModel::site_of(std::size_t machine) const {
+  if (machine >= site_of_.size())
+    throw std::out_of_range("NetworkModel::site_of");
+  return site_of_[machine];
+}
+
+void NetworkModel::set_pair_override(std::size_t src, std::size_t dst,
+                                     LinkParams params) {
+  if (src >= site_of_.size() || dst >= site_of_.size())
+    throw std::out_of_range("NetworkModel::set_pair_override");
+  for (auto& o : overrides_) {
+    if (o.src == src && o.dst == dst) {
+      o.params = params;
+      return;
+    }
+  }
+  overrides_.push_back({src, dst, params});
+}
+
+const LinkParams& NetworkModel::link(std::size_t src, std::size_t dst) const {
+  for (const auto& o : overrides_)
+    if (o.src == src && o.dst == dst) return o.params;
+  return site_of_.at(src) == site_of_.at(dst) ? intra_ : inter_;
+}
+
+double NetworkModel::transfer_time(std::size_t src, std::size_t dst,
+                                   std::size_t bytes, des::SimTime,
+                                   util::Rng& rng) const {
+  if (src >= site_of_.size() || dst >= site_of_.size())
+    throw std::out_of_range("NetworkModel::transfer_time");
+  if (src == dst) return 0.0;
+  const LinkParams& p = link(src, dst);
+  double time = p.latency + static_cast<double>(bytes) / p.bandwidth;
+  if (p.jitter_sigma > 0.0) {
+    // Lognormal multiplicative fluctuation with unit median.
+    time *= std::exp(rng.normal(0.0, p.jitter_sigma));
+  }
+  return time;
+}
+
+}  // namespace aiac::grid

@@ -1,0 +1,66 @@
+// Network model: point-to-point message delays between machines.
+//
+// A message from machine a to machine b takes
+//     latency + bytes / bandwidth
+// multiplied by a per-message lognormal fluctuation factor — the paper's
+// grid links are networks "between which the speed of the network may
+// sharply vary". Machines are grouped into sites; a link is intra-site
+// (LAN) or inter-site (WAN) and each class has its own parameters.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "des/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace aiac::grid {
+
+struct LinkParams {
+  double latency = 1e-4;        // seconds (one-way)
+  double bandwidth = 100e6;     // bytes per second
+  double jitter_sigma = 0.0;    // lognormal sigma; 0 = deterministic
+};
+
+/// Common presets.
+LinkParams fast_ethernet_lan();   // ~100 Mb/s LAN of the paper's cluster era
+LinkParams campus_wan();          // inter-site link, higher latency, jittery
+LinkParams loaded_wan();          // heavily loaded / slow inter-site link
+
+class NetworkModel {
+ public:
+  /// `site_of[m]` gives the site index of machine m.
+  NetworkModel(std::vector<std::size_t> site_of, LinkParams intra_site,
+               LinkParams inter_site);
+
+  std::size_t machine_count() const noexcept { return site_of_.size(); }
+  std::size_t site_of(std::size_t machine) const;
+
+  /// Overrides the link parameters for one ordered machine pair.
+  void set_pair_override(std::size_t src, std::size_t dst, LinkParams params);
+
+  const LinkParams& link(std::size_t src, std::size_t dst) const;
+
+  /// Delay for a message of `bytes` from src to dst sent at time t.
+  /// Messages within one machine are free. The fluctuation factor draws
+  /// from the model's own RNG stream, so delays are reproducible given the
+  /// construction seed and the global order of sends (which the
+  /// deterministic simulator fixes).
+  double transfer_time(std::size_t src, std::size_t dst, std::size_t bytes,
+                       des::SimTime t, util::Rng& rng) const;
+
+ private:
+  std::vector<std::size_t> site_of_;
+  LinkParams intra_;
+  LinkParams inter_;
+  struct Override {
+    std::size_t src;
+    std::size_t dst;
+    LinkParams params;
+  };
+  std::vector<Override> overrides_;
+};
+
+}  // namespace aiac::grid

@@ -1,0 +1,83 @@
+#include "lb/balancer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace aiac::lb {
+
+NeighborBalancer::NeighborBalancer(BalancerConfig config) : config_(config) {
+  if (config_.threshold_ratio <= 1.0)
+    throw std::invalid_argument("threshold_ratio must exceed 1");
+  if (config_.migration_fraction <= 0.0 || config_.migration_fraction > 1.0)
+    throw std::invalid_argument("migration_fraction must be in (0, 1]");
+  if (config_.trigger_period == 0)
+    throw std::invalid_argument("trigger_period must be positive");
+}
+
+bool NeighborBalancer::ratio_exceeds_threshold(double my_load,
+                                               double neighbor_load) const {
+  if (my_load <= 0.0) return false;  // nothing evolving here: never send
+  if (neighbor_load <= 0.0) return true;  // neighbor fully converged
+  return my_load / neighbor_load > config_.threshold_ratio;
+}
+
+std::size_t NeighborBalancer::amount_to_send(double my_load,
+                                             double neighbor_load,
+                                             std::size_t my_components) const {
+  if (my_components <= config_.min_components) return 0;
+  // Surplus heuristic: at perfect balance each side would hold work
+  // proportional to its inverse load advantage. Ship migration_fraction of
+  // the difference to half-balance, never dipping below the famine guard.
+  const double ratio =
+      neighbor_load <= 0.0 ? 0.0 : std::min(1.0, neighbor_load / my_load);
+  const double surplus =
+      static_cast<double>(my_components) * (1.0 - ratio) / 2.0;
+  auto amount = static_cast<std::size_t>(
+      std::llround(surplus * config_.migration_fraction));
+  const auto cap = static_cast<std::size_t>(
+      std::llround(static_cast<double>(my_components) *
+                   config_.max_fraction_per_migration));
+  amount = std::min(amount, std::max<std::size_t>(cap, 1));
+  amount = std::min(amount, my_components - config_.min_components);
+  return amount;
+}
+
+BalanceDecision NeighborBalancer::decide(const BalanceView& view) const {
+  BalanceDecision decision;
+  const bool left_candidate =
+      view.left_load.has_value() && !view.left_link_busy &&
+      ratio_exceeds_threshold(view.my_load, *view.left_load);
+  const bool right_candidate =
+      view.right_load.has_value() && !view.right_link_busy &&
+      ratio_exceeds_threshold(view.my_load, *view.right_load);
+  if (!left_candidate && !right_candidate) return decision;
+
+  bool send_left;
+  if (left_candidate && right_candidate) {
+    switch (config_.selection) {
+      case BalancerConfig::Selection::kLightestNeighbor:
+        send_left = *view.left_load <= *view.right_load;
+        break;
+      case BalancerConfig::Selection::kLeftFirst:
+        send_left = true;
+        break;
+      default:
+        send_left = true;
+    }
+  } else {
+    send_left = left_candidate;
+  }
+
+  const double neighbor_load =
+      send_left ? *view.left_load : *view.right_load;
+  const std::size_t amount =
+      amount_to_send(view.my_load, neighbor_load, view.my_components);
+  if (amount == 0) return decision;
+  decision.action = send_left ? BalanceDecision::Action::kSendLeft
+                              : BalanceDecision::Action::kSendRight;
+  decision.amount = amount;
+  return decision;
+}
+
+}  // namespace aiac::lb

@@ -1,0 +1,83 @@
+// The Bertsekas–Tsitsiklis non-centralized load-balancing decision rule,
+// in the paper's "lightest loaded neighbor" variant (paper §3, §5.2,
+// Algorithms 4-5):
+//
+//  * tried periodically, every `trigger_period` iterations (OkToTryLB);
+//  * a node compares its load estimate with a neighbor's latest known
+//    estimate; if the ratio exceeds `threshold_ratio` it sends part of its
+//    components to that neighbor;
+//  * the amount keeps at least `min_components` locally (the famine guard,
+//    ThresholdData) and is scaled by `migration_fraction` (the paper's
+//    "accuracy of the load balancing", traded off against network load);
+//  * at most one load-balancing transfer per link is in flight.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "lb/estimators.hpp"
+
+namespace aiac::lb {
+
+struct BalancerConfig {
+  /// Send only if my_load / neighbor_load > threshold_ratio.
+  double threshold_ratio = 2.0;
+  /// Never drop below this many owned components (>= stencil + 1 is
+  /// enforced by the engine; the paper's ThresholdData).
+  std::size_t min_components = 6;
+  /// Fraction of the load surplus to migrate; 1.0 = try to equalize in
+  /// one shot (accurate balancing), small values = coarse balancing.
+  double migration_fraction = 0.5;
+  /// Hard cap on a single migration, as a fraction of the sender's
+  /// components. Prevents the dumping instability when the neighbor's
+  /// load estimate is (near) zero — a fully converged neighbor would
+  /// otherwise attract half of the sender's components every trigger.
+  double max_fraction_per_migration = 0.25;
+  /// Attempt load balancing every this many iterations (OkToTryLB = 20 in
+  /// paper Algorithm 4).
+  std::size_t trigger_period = 20;
+  /// Paper Algorithm 4 tests the left neighbor before the right; the
+  /// Bertsekas-Tsitsiklis variant picks the lightest neighbor. Both are
+  /// provided; they coincide whenever only one neighbor qualifies.
+  enum class Selection { kLightestNeighbor, kLeftFirst };
+  Selection selection = Selection::kLightestNeighbor;
+};
+
+/// What a node knows when deciding (its own state is current; neighbor
+/// loads are the latest piggybacked values, possibly stale).
+struct BalanceView {
+  double my_load = 0.0;
+  std::size_t my_components = 0;
+  std::optional<double> left_load;    // unset: no left neighbor / unknown
+  std::optional<double> right_load;
+  bool left_link_busy = false;   // an LB transfer is in flight on the link
+  bool right_link_busy = false;
+};
+
+struct BalanceDecision {
+  enum class Action { kNone, kSendLeft, kSendRight };
+  Action action = Action::kNone;
+  std::size_t amount = 0;  // components to migrate
+};
+
+class NeighborBalancer {
+ public:
+  explicit NeighborBalancer(BalancerConfig config);
+
+  const BalancerConfig& config() const noexcept { return config_; }
+
+  /// The decision rule; pure function of the view.
+  BalanceDecision decide(const BalanceView& view) const;
+
+  /// Number of components to ship toward a neighbor with load
+  /// `neighbor_load`; 0 when the famine guard would be violated.
+  std::size_t amount_to_send(double my_load, double neighbor_load,
+                             std::size_t my_components) const;
+
+ private:
+  bool ratio_exceeds_threshold(double my_load, double neighbor_load) const;
+  BalancerConfig config_;
+};
+
+}  // namespace aiac::lb

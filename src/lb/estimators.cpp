@@ -1,0 +1,41 @@
+#include "lb/estimators.hpp"
+
+#include <stdexcept>
+
+namespace aiac::lb {
+
+double ResidualEstimator::estimate(const NodeLoadInputs& in) const {
+  return in.residual;
+}
+
+double IterationTimeEstimator::estimate(const NodeLoadInputs& in) const {
+  return in.last_iteration_seconds;
+}
+
+double ComponentCountEstimator::estimate(const NodeLoadInputs& in) const {
+  return static_cast<double>(in.components);
+}
+
+double ResidualTimeEstimator::estimate(const NodeLoadInputs& in) const {
+  return in.residual * in.last_iteration_seconds;
+}
+
+std::unique_ptr<LoadEstimator> make_estimator(EstimatorKind kind) {
+  switch (kind) {
+    case EstimatorKind::kResidual:
+      return std::make_unique<ResidualEstimator>();
+    case EstimatorKind::kIterationTime:
+      return std::make_unique<IterationTimeEstimator>();
+    case EstimatorKind::kComponentCount:
+      return std::make_unique<ComponentCountEstimator>();
+    case EstimatorKind::kResidualTime:
+      return std::make_unique<ResidualTimeEstimator>();
+  }
+  throw std::invalid_argument("make_estimator: unknown kind");
+}
+
+std::string to_string(EstimatorKind kind) {
+  return make_estimator(kind)->name();
+}
+
+}  // namespace aiac::lb

@@ -1,0 +1,73 @@
+// Load estimators: how a node summarizes "how loaded am I" into the single
+// number exchanged with neighbors.
+//
+// The paper's key choice (§5.2) is the *local residual*: a processor whose
+// components are no longer evolving is "not so useful for the overall
+// progression" and should receive more components. The alternatives the
+// paper mentions (time to perform the last iterations, plain component
+// count) are provided for the ablation benches.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+namespace aiac::lb {
+
+/// Everything a node knows about its own last iteration.
+struct NodeLoadInputs {
+  double residual = 0.0;             // max |Ynew - Yold| over owned rows
+  double last_iteration_seconds = 0.0;  // duration of the last iteration
+  double last_iteration_work = 0.0;     // Newton work units consumed
+  std::size_t components = 0;           // owned component count
+};
+
+class LoadEstimator {
+ public:
+  virtual ~LoadEstimator() = default;
+  /// Higher value = more in need of help (more "loaded").
+  virtual double estimate(const NodeLoadInputs& in) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// The paper's estimator: the local residual.
+class ResidualEstimator final : public LoadEstimator {
+ public:
+  double estimate(const NodeLoadInputs& in) const override;
+  std::string name() const override { return "residual"; }
+};
+
+/// Wall/virtual time of the last iteration ("the time to perform the k
+/// last iterations", which the paper argues is the naive choice).
+class IterationTimeEstimator final : public LoadEstimator {
+ public:
+  double estimate(const NodeLoadInputs& in) const override;
+  std::string name() const override { return "iteration-time"; }
+};
+
+/// Owned component count (topology-only balancing).
+class ComponentCountEstimator final : public LoadEstimator {
+ public:
+  double estimate(const NodeLoadInputs& in) const override;
+  std::string name() const override { return "component-count"; }
+};
+
+/// Residual-weighted time: residual * seconds; an estimator combining the
+/// progression criterion with machine speed, used in the ablation bench.
+class ResidualTimeEstimator final : public LoadEstimator {
+ public:
+  double estimate(const NodeLoadInputs& in) const override;
+  std::string name() const override { return "residual-time"; }
+};
+
+enum class EstimatorKind {
+  kResidual,
+  kIterationTime,
+  kComponentCount,
+  kResidualTime,
+};
+
+std::unique_ptr<LoadEstimator> make_estimator(EstimatorKind kind);
+std::string to_string(EstimatorKind kind);
+
+}  // namespace aiac::lb

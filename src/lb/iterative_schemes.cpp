@@ -1,0 +1,220 @@
+#include "lb/iterative_schemes.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace aiac::lb {
+
+ProcessorGraph::ProcessorGraph(std::size_t nodes) : adjacency_(nodes) {
+  if (nodes == 0) throw std::invalid_argument("ProcessorGraph: empty");
+}
+
+ProcessorGraph ProcessorGraph::chain(std::size_t nodes) {
+  ProcessorGraph g(nodes);
+  for (std::size_t i = 0; i + 1 < nodes; ++i) g.add_edge(i, i + 1);
+  return g;
+}
+
+ProcessorGraph ProcessorGraph::ring(std::size_t nodes) {
+  ProcessorGraph g(nodes);
+  if (nodes < 3) throw std::invalid_argument("ring needs >= 3 nodes");
+  for (std::size_t i = 0; i < nodes; ++i) g.add_edge(i, (i + 1) % nodes);
+  return g;
+}
+
+ProcessorGraph ProcessorGraph::hypercube(std::size_t log_nodes) {
+  const std::size_t n = std::size_t{1} << log_nodes;
+  ProcessorGraph g(n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t bit = 0; bit < log_nodes; ++bit) {
+      const std::size_t j = i ^ (std::size_t{1} << bit);
+      if (i < j) g.add_edge(i, j);
+    }
+  return g;
+}
+
+void ProcessorGraph::add_edge(std::size_t a, std::size_t b) {
+  if (a >= size() || b >= size() || a == b)
+    throw std::invalid_argument("ProcessorGraph::add_edge: bad edge");
+  adjacency_[a].push_back(b);
+  adjacency_[b].push_back(a);
+}
+
+const std::vector<std::size_t>& ProcessorGraph::neighbors(
+    std::size_t node) const {
+  return adjacency_.at(node);
+}
+
+std::size_t ProcessorGraph::max_degree() const noexcept {
+  std::size_t best = 0;
+  for (const auto& adj : adjacency_) best = std::max(best, adj.size());
+  return best;
+}
+
+bool ProcessorGraph::connected() const {
+  std::vector<bool> seen(size(), false);
+  std::vector<std::size_t> stack = {0};
+  seen[0] = true;
+  while (!stack.empty()) {
+    const std::size_t node = stack.back();
+    stack.pop_back();
+    for (std::size_t nb : adjacency_[node])
+      if (!seen[nb]) {
+        seen[nb] = true;
+        stack.push_back(nb);
+      }
+  }
+  return std::all_of(seen.begin(), seen.end(), [](bool s) { return s; });
+}
+
+std::vector<double> diffusion_step(const ProcessorGraph& graph,
+                                   const std::vector<double>& loads,
+                                   double alpha) {
+  if (loads.size() != graph.size())
+    throw std::invalid_argument("diffusion_step: size mismatch");
+  if (alpha <= 0.0 ||
+      alpha > 1.0 / static_cast<double>(graph.max_degree() + 1))
+    throw std::invalid_argument("diffusion_step: alpha out of stable range");
+  std::vector<double> next(loads);
+  for (std::size_t i = 0; i < loads.size(); ++i)
+    for (std::size_t j : graph.neighbors(i))
+      next[i] += alpha * (loads[j] - loads[i]);
+  return next;
+}
+
+std::vector<double> dimension_exchange_step(const ProcessorGraph& graph,
+                                            const std::vector<double>& loads,
+                                            std::size_t dimension) {
+  if (loads.size() != graph.size())
+    throw std::invalid_argument("dimension_exchange_step: size mismatch");
+  std::vector<double> next(loads);
+  std::vector<bool> matched(loads.size(), false);
+  // Greedy matching selecting each node's (dimension mod degree)-th free
+  // neighbor; on a hypercube with dimension < log2(n) this is exactly the
+  // classical bit-d pairing.
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    if (matched[i]) continue;
+    const auto& nbrs = graph.neighbors(i);
+    if (nbrs.empty()) continue;
+    const std::size_t preferred = dimension % nbrs.size();
+    for (std::size_t probe = 0; probe < nbrs.size(); ++probe) {
+      const std::size_t j = nbrs[(preferred + probe) % nbrs.size()];
+      if (matched[j] || j == i) continue;
+      const double average = (next[i] + next[j]) / 2.0;
+      next[i] = average;
+      next[j] = average;
+      matched[i] = matched[j] = true;
+      break;
+    }
+  }
+  return next;
+}
+
+namespace {
+double imbalance_of(const std::vector<double>& loads) {
+  const auto [lo, hi] = std::minmax_element(loads.begin(), loads.end());
+  return *hi - *lo;
+}
+}  // namespace
+
+IterativeBalanceResult run_diffusion(const ProcessorGraph& graph,
+                                     std::vector<double> loads, double alpha,
+                                     double tolerance,
+                                     std::size_t max_sweeps) {
+  IterativeBalanceResult result;
+  result.loads = std::move(loads);
+  for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    result.imbalance = imbalance_of(result.loads);
+    if (result.imbalance <= tolerance) {
+      result.converged = true;
+      return result;
+    }
+    result.loads = diffusion_step(graph, result.loads, alpha);
+    result.sweeps = sweep + 1;
+  }
+  result.imbalance = imbalance_of(result.loads);
+  result.converged = result.imbalance <= tolerance;
+  return result;
+}
+
+IterativeBalanceResult run_dimension_exchange(const ProcessorGraph& graph,
+                                              std::vector<double> loads,
+                                              std::size_t dimensions,
+                                              double tolerance,
+                                              std::size_t max_sweeps) {
+  if (dimensions == 0)
+    throw std::invalid_argument("run_dimension_exchange: zero dimensions");
+  IterativeBalanceResult result;
+  result.loads = std::move(loads);
+  for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    result.imbalance = imbalance_of(result.loads);
+    if (result.imbalance <= tolerance) {
+      result.converged = true;
+      return result;
+    }
+    result.loads =
+        dimension_exchange_step(graph, result.loads, sweep % dimensions);
+    result.sweeps = sweep + 1;
+  }
+  result.imbalance = imbalance_of(result.loads);
+  result.converged = result.imbalance <= tolerance;
+  return result;
+}
+
+std::vector<std::size_t> speed_weighted_partition(
+    std::size_t total, const std::vector<double>& speeds,
+    std::size_t min_per_part) {
+  const std::size_t parts = speeds.size();
+  if (parts == 0)
+    throw std::invalid_argument("speed_weighted_partition: no parts");
+  if (total < parts * min_per_part)
+    throw std::invalid_argument(
+        "speed_weighted_partition: not enough items for the minimum");
+  double speed_sum = 0.0;
+  for (double s : speeds) {
+    if (s <= 0.0)
+      throw std::invalid_argument("speed_weighted_partition: speed <= 0");
+    speed_sum += s;
+  }
+  // Largest-remainder apportionment with a floor of min_per_part.
+  std::vector<std::size_t> sizes(parts, min_per_part);
+  std::size_t assigned = parts * min_per_part;
+  std::vector<double> fractional(parts);
+  for (std::size_t p = 0; p < parts; ++p) {
+    const double ideal =
+        static_cast<double>(total) * speeds[p] / speed_sum;
+    const double extra = std::max(0.0, ideal - static_cast<double>(min_per_part));
+    const auto whole = static_cast<std::size_t>(extra);
+    sizes[p] += whole;
+    assigned += whole;
+    fractional[p] = extra - static_cast<double>(whole);
+  }
+  // Distribute the remainder to the largest fractional parts.
+  std::vector<std::size_t> order(parts);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return fractional[a] != fractional[b] ? fractional[a] > fractional[b]
+                                          : a < b;
+  });
+  std::size_t cursor = 0;
+  while (assigned < total) {
+    sizes[order[cursor % parts]] += 1;
+    ++assigned;
+    ++cursor;
+  }
+  while (assigned > total) {  // can happen when floors overshoot
+    const std::size_t p = order[cursor % parts];
+    if (sizes[p] > min_per_part) {
+      sizes[p] -= 1;
+      --assigned;
+    }
+    ++cursor;
+  }
+  std::vector<std::size_t> starts(parts + 1, 0);
+  for (std::size_t p = 0; p < parts; ++p) starts[p + 1] = starts[p] + sizes[p];
+  return starts;
+}
+
+}  // namespace aiac::lb

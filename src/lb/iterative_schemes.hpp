@@ -1,0 +1,75 @@
+// Classical local iterative load-balancing schemes (paper §3):
+// Cybenko's diffusion algorithm and the dimension-exchange algorithm.
+// Both are *synchronous* — which is exactly why the paper rejects them for
+// AIAC — but they are the reference points of the design space and the
+// ablation benches compare against them.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace aiac::lb {
+
+/// Undirected graph over processors, adjacency-list form.
+class ProcessorGraph {
+ public:
+  explicit ProcessorGraph(std::size_t nodes);
+
+  static ProcessorGraph chain(std::size_t nodes);
+  static ProcessorGraph ring(std::size_t nodes);
+  static ProcessorGraph hypercube(std::size_t log_nodes);
+
+  std::size_t size() const noexcept { return adjacency_.size(); }
+  void add_edge(std::size_t a, std::size_t b);
+  const std::vector<std::size_t>& neighbors(std::size_t node) const;
+  std::size_t max_degree() const noexcept;
+  bool connected() const;
+
+ private:
+  std::vector<std::vector<std::size_t>> adjacency_;
+};
+
+/// One synchronous diffusion sweep: every node simultaneously exchanges
+/// alpha * (load_i - load_j) with each neighbor j (Cybenko 1989).
+/// alpha must be in (0, 1/(max_degree+1)] for guaranteed convergence.
+std::vector<double> diffusion_step(const ProcessorGraph& graph,
+                                   const std::vector<double>& loads,
+                                   double alpha);
+
+/// One dimension-exchange sweep along an edge-coloring dimension: each
+/// node pairs with at most one neighbor and both move to their average.
+/// `dimension` selects the matching (for a hypercube, the bit index; for
+/// general graphs, edges are matched greedily by color).
+std::vector<double> dimension_exchange_step(const ProcessorGraph& graph,
+                                            const std::vector<double>& loads,
+                                            std::size_t dimension);
+
+struct IterativeBalanceResult {
+  std::vector<double> loads;
+  std::size_t sweeps = 0;
+  double imbalance = 0.0;  // max - min at exit
+  bool converged = false;
+};
+
+/// Runs diffusion sweeps until max-min imbalance <= tolerance.
+IterativeBalanceResult run_diffusion(const ProcessorGraph& graph,
+                                     std::vector<double> loads, double alpha,
+                                     double tolerance,
+                                     std::size_t max_sweeps = 10000);
+
+/// Runs dimension-exchange, cycling the dimension each sweep.
+IterativeBalanceResult run_dimension_exchange(const ProcessorGraph& graph,
+                                              std::vector<double> loads,
+                                              std::size_t dimensions,
+                                              double tolerance,
+                                              std::size_t max_sweeps = 10000);
+
+/// Static speed-weighted partition (the authors' earlier static-balancing
+/// work [2]): splits `total` items into contiguous ranges proportional to
+/// `speeds`; returns part boundaries (size speeds.size() + 1). Every part
+/// receives at least `min_per_part` items.
+std::vector<std::size_t> speed_weighted_partition(
+    std::size_t total, const std::vector<double>& speeds,
+    std::size_t min_per_part = 1);
+
+}  // namespace aiac::lb

@@ -1,0 +1,117 @@
+#include "linalg/banded_matrix.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace aiac::linalg {
+
+BandedMatrix::BandedMatrix(std::size_t n, std::size_t lower,
+                           std::size_t upper)
+    : n_(n), kl_(lower), ku_(upper), data_(n * (lower + upper + 1), 0.0) {}
+
+bool BandedMatrix::in_band(std::size_t r, std::size_t c) const noexcept {
+  if (r >= n_ || c >= n_) return false;
+  if (c + kl_ < r) return false;  // below the band
+  if (r + ku_ < c) return false;  // above the band
+  return true;
+}
+
+double BandedMatrix::at(std::size_t r, std::size_t c) const noexcept {
+  if (!in_band(r, c)) return 0.0;
+  return data_[offset(r, c)];
+}
+
+double& BandedMatrix::ref(std::size_t r, std::size_t c) {
+  if (!in_band(r, c))
+    throw std::out_of_range("BandedMatrix::ref outside band");
+  return data_[offset(r, c)];
+}
+
+void BandedMatrix::set_zero() noexcept {
+  for (double& x : data_) x = 0.0;
+}
+
+void BandedMatrix::multiply(std::span<const double> x,
+                            std::span<double> y) const {
+  if (x.size() != n_ || y.size() != n_)
+    throw std::invalid_argument("BandedMatrix::multiply: size mismatch");
+  for (std::size_t r = 0; r < n_; ++r) {
+    const std::size_t c_lo = r > kl_ ? r - kl_ : 0;
+    const std::size_t c_hi = std::min(n_ - 1, r + ku_);
+    double sum = 0.0;
+    for (std::size_t c = c_lo; c <= c_hi; ++c) sum += data_[offset(r, c)] * x[c];
+    y[r] = sum;
+  }
+}
+
+std::vector<double> BandedMatrix::to_dense() const {
+  std::vector<double> dense(n_ * n_, 0.0);
+  for (std::size_t r = 0; r < n_; ++r)
+    for (std::size_t c = 0; c < n_; ++c) dense[r * n_ + c] = at(r, c);
+  return dense;
+}
+
+BandedLu::BandedLu(BandedMatrix a, double pivot_tolerance)
+    : lu_(std::move(a)) {
+  const std::size_t n = lu_.size();
+  const std::size_t kl = lu_.lower_bandwidth();
+  const std::size_t ku = lu_.upper_bandwidth();
+  for (std::size_t k = 0; k < n; ++k) {
+    const double pivot = lu_.at(k, k);
+    if (std::abs(pivot) < pivot_tolerance)
+      throw std::runtime_error("BandedLu: pivot below tolerance at row " +
+                               std::to_string(k));
+    const double inv_pivot = 1.0 / pivot;
+    const std::size_t r_hi = std::min(n - 1, k + kl);
+    for (std::size_t r = k + 1; r <= r_hi && r < n; ++r) {
+      const double factor = lu_.at(r, k) * inv_pivot;
+      lu_.ref(r, k) = factor;
+      const std::size_t c_hi = std::min(n - 1, k + ku);
+      for (std::size_t c = k + 1; c <= c_hi; ++c)
+        lu_.ref(r, c) = lu_.at(r, c) - factor * lu_.at(k, c);
+    }
+  }
+}
+
+void BandedLu::solve(std::span<double> b) const {
+  const std::size_t n = lu_.size();
+  if (b.size() != n)
+    throw std::invalid_argument("BandedLu::solve: size mismatch");
+  const std::size_t kl = lu_.lower_bandwidth();
+  const std::size_t ku = lu_.upper_bandwidth();
+  // Forward substitution with the unit lower-triangular factor.
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j_lo = i > kl ? i - kl : 0;
+    for (std::size_t j = j_lo; j < i; ++j) b[i] -= lu_.at(i, j) * b[j];
+  }
+  // Back substitution with the upper factor.
+  for (std::size_t ii = n; ii-- > 0;) {
+    const std::size_t j_hi = std::min(n - 1, ii + ku);
+    for (std::size_t j = ii + 1; j <= j_hi; ++j) b[ii] -= lu_.at(ii, j) * b[j];
+    b[ii] /= lu_.at(ii, ii);
+  }
+}
+
+void solve_tridiagonal(std::span<const double> lower,
+                       std::span<const double> diag,
+                       std::span<const double> upper, std::span<double> rhs) {
+  const std::size_t n = diag.size();
+  if (lower.size() != n || upper.size() != n || rhs.size() != n)
+    throw std::invalid_argument("solve_tridiagonal: size mismatch");
+  if (n == 0) return;
+  std::vector<double> scratch(n);
+  double pivot = diag[0];
+  if (pivot == 0.0) throw std::runtime_error("tridiagonal: zero pivot");
+  rhs[0] /= pivot;
+  for (std::size_t i = 1; i < n; ++i) {
+    scratch[i] = upper[i - 1] / pivot;
+    pivot = diag[i] - lower[i] * scratch[i];
+    if (pivot == 0.0) throw std::runtime_error("tridiagonal: zero pivot");
+    rhs[i] = (rhs[i] - lower[i] * rhs[i - 1]) / pivot;
+  }
+  for (std::size_t ii = n - 1; ii-- > 0;)
+    rhs[ii] -= scratch[ii + 1] * rhs[ii + 1];
+}
+
+}  // namespace aiac::linalg

@@ -1,0 +1,82 @@
+// Banded matrix storage and factorization.
+//
+// The implicit-Euler Newton systems of the Brusselator are banded: in the
+// interleaved ordering y = (u_1, v_1, ..., u_N, v_N) the coupling of u_i to
+// {v_i, u_i-1, u_i+1} and of v_i to {u_i, v_i-1, v_i+1} gives lower and
+// upper bandwidths of 2. Block-local Newton systems inherit the structure,
+// so an O(n * b^2) banded LU replaces an O(n^3) dense one.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace aiac::linalg {
+
+/// Band storage: element (r, c) is stored iff |r - c| is within the
+/// bandwidths; accessing outside the band reads as zero and writes throw.
+class BandedMatrix {
+ public:
+  BandedMatrix() = default;
+  /// n x n with `lower` sub-diagonals and `upper` super-diagonals.
+  BandedMatrix(std::size_t n, std::size_t lower, std::size_t upper);
+
+  std::size_t size() const noexcept { return n_; }
+  std::size_t lower_bandwidth() const noexcept { return kl_; }
+  std::size_t upper_bandwidth() const noexcept { return ku_; }
+
+  bool in_band(std::size_t r, std::size_t c) const noexcept;
+
+  /// Read anywhere; zero outside the band.
+  double at(std::size_t r, std::size_t c) const noexcept;
+  /// Mutable access inside the band only; throws std::out_of_range outside.
+  double& ref(std::size_t r, std::size_t c);
+
+  void set_zero() noexcept;
+
+  /// y = A x.
+  void multiply(std::span<const double> x, std::span<double> y) const;
+
+  /// Densifies (tests / debugging).
+  std::vector<double> to_dense() const;
+
+ private:
+  std::size_t offset(std::size_t r, std::size_t c) const noexcept {
+    // Row-wise band storage: row r occupies a stride of (kl_+ku_+1) slots,
+    // column c lands at position (c - r + kl_).
+    return r * (kl_ + ku_ + 1) + (c + kl_ - r);
+  }
+
+  std::size_t n_ = 0;
+  std::size_t kl_ = 0;
+  std::size_t ku_ = 0;
+  std::vector<double> data_;
+};
+
+/// LU factorization of a banded matrix *without pivoting*.
+///
+/// Valid for the diagonally dominant Jacobians produced by implicit Euler
+/// with reasonable step sizes (I - dt*J with dt small enough). Throws
+/// std::runtime_error when a pivot underflows `pivot_tolerance`, which in
+/// this codebase signals that the step size must be reduced.
+class BandedLu {
+ public:
+  explicit BandedLu(BandedMatrix a, double pivot_tolerance = 1e-14);
+
+  std::size_t size() const noexcept { return lu_.size(); }
+
+  /// Solves A x = b in place.
+  void solve(std::span<double> b) const;
+
+ private:
+  BandedMatrix lu_;
+};
+
+/// Thomas algorithm for tridiagonal systems; O(n). `lower`, `diag`,
+/// `upper` are the three diagonals (lower[0] and upper[n-1] unused).
+/// Overwrites rhs with the solution. Throws on zero pivot.
+void solve_tridiagonal(std::span<const double> lower,
+                       std::span<const double> diag,
+                       std::span<const double> upper, std::span<double> rhs);
+
+}  // namespace aiac::linalg

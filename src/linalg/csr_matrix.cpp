@@ -1,0 +1,126 @@
+#include "linalg/csr_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace aiac::linalg {
+
+CsrMatrix CsrMatrix::from_triplets(std::size_t rows, std::size_t cols,
+                                   std::vector<Triplet> triplets) {
+  for (const auto& t : triplets)
+    if (t.row >= rows || t.col >= cols)
+      throw std::out_of_range("CsrMatrix::from_triplets: index out of range");
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_.assign(rows + 1, 0);
+  for (std::size_t i = 0; i < triplets.size();) {
+    std::size_t j = i;
+    double sum = 0.0;
+    while (j < triplets.size() && triplets[j].row == triplets[i].row &&
+           triplets[j].col == triplets[i].col) {
+      sum += triplets[j].value;
+      ++j;
+    }
+    m.col_idx_.push_back(triplets[i].col);
+    m.values_.push_back(sum);
+    ++m.row_ptr_[triplets[i].row + 1];
+    i = j;
+  }
+  for (std::size_t r = 0; r < rows; ++r) m.row_ptr_[r + 1] += m.row_ptr_[r];
+  return m;
+}
+
+CsrMatrix CsrMatrix::laplacian_1d(std::size_t n, double diag, double off) {
+  std::vector<Triplet> t;
+  t.reserve(3 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0) t.push_back({i, i - 1, off});
+    t.push_back({i, i, diag});
+    if (i + 1 < n) t.push_back({i, i + 1, off});
+  }
+  return from_triplets(n, n, std::move(t));
+}
+
+CsrMatrix CsrMatrix::laplacian_2d(std::size_t nx, std::size_t ny) {
+  const std::size_t n = nx * ny;
+  std::vector<Triplet> t;
+  t.reserve(5 * n);
+  auto idx = [nx](std::size_t x, std::size_t y) { return y * nx + x; };
+  for (std::size_t y = 0; y < ny; ++y) {
+    for (std::size_t x = 0; x < nx; ++x) {
+      const std::size_t i = idx(x, y);
+      t.push_back({i, i, 4.0});
+      if (x > 0) t.push_back({i, idx(x - 1, y), -1.0});
+      if (x + 1 < nx) t.push_back({i, idx(x + 1, y), -1.0});
+      if (y > 0) t.push_back({i, idx(x, y - 1), -1.0});
+      if (y + 1 < ny) t.push_back({i, idx(x, y + 1), -1.0});
+    }
+  }
+  return from_triplets(n, n, std::move(t));
+}
+
+void CsrMatrix::multiply(std::span<const double> x,
+                         std::span<double> y) const {
+  if (x.size() != cols_ || y.size() != rows_)
+    throw std::invalid_argument("CsrMatrix::multiply: size mismatch");
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+      sum += values_[k] * x[col_idx_[k]];
+    y[r] = sum;
+  }
+}
+
+double CsrMatrix::at(std::size_t r, std::size_t c) const noexcept {
+  if (r >= rows_) return 0.0;
+  const auto begin = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[r]);
+  const auto end = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[r + 1]);
+  const auto it = std::lower_bound(begin, end, c);
+  if (it == end || *it != c) return 0.0;
+  return values_[static_cast<std::size_t>(it - col_idx_.begin())];
+}
+
+std::span<const std::size_t> CsrMatrix::row_cols(std::size_t r) const noexcept {
+  return {col_idx_.data() + row_ptr_[r], row_ptr_[r + 1] - row_ptr_[r]};
+}
+
+std::span<const double> CsrMatrix::row_values(std::size_t r) const noexcept {
+  return {values_.data() + row_ptr_[r], row_ptr_[r + 1] - row_ptr_[r]};
+}
+
+double CsrMatrix::residual_inf(std::span<const double> x,
+                               std::span<const double> b) const {
+  if (x.size() != cols_ || b.size() != rows_)
+    throw std::invalid_argument("CsrMatrix::residual_inf: size mismatch");
+  double best = 0.0;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+      sum += values_[k] * x[col_idx_[k]];
+    best = std::max(best, std::abs(b[r] - sum));
+  }
+  return best;
+}
+
+bool CsrMatrix::strictly_diagonally_dominant() const noexcept {
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double diag = 0.0;
+    double off_sum = 0.0;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      if (col_idx_[k] == r)
+        diag = std::abs(values_[k]);
+      else
+        off_sum += std::abs(values_[k]);
+    }
+    if (diag <= off_sum) return false;
+  }
+  return true;
+}
+
+}  // namespace aiac::linalg

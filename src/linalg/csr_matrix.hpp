@@ -1,0 +1,65 @@
+// Compressed-sparse-row matrix, used by the linear fixed-point examples
+// (asynchronous Jacobi on discretized Laplace/heat problems) that
+// demonstrate the generality of the AIAC engine beyond the Brusselator.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace aiac::linalg {
+
+class CsrMatrix {
+ public:
+  struct Triplet {
+    std::size_t row;
+    std::size_t col;
+    double value;
+  };
+
+  CsrMatrix() = default;
+
+  /// Builds from coordinate triplets; duplicates are summed.
+  static CsrMatrix from_triplets(std::size_t rows, std::size_t cols,
+                                 std::vector<Triplet> triplets);
+
+  /// 1D Poisson/Laplace stencil: tridiagonal with `diag` on the diagonal
+  /// and `off` on both off-diagonals (classic [−1, 2, −1] when
+  /// diag=2, off=−1).
+  static CsrMatrix laplacian_1d(std::size_t n, double diag = 2.0,
+                                double off = -1.0);
+
+  /// 5-point 2D Laplacian on an nx-by-ny grid (row-major numbering).
+  static CsrMatrix laplacian_2d(std::size_t nx, std::size_t ny);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  std::size_t nonzeros() const noexcept { return values_.size(); }
+
+  /// y = A x.
+  void multiply(std::span<const double> x, std::span<double> y) const;
+
+  /// Value at (r, c); zero if not stored. O(log nnz_row).
+  double at(std::size_t r, std::size_t c) const noexcept;
+
+  /// Row access for solver kernels.
+  std::span<const std::size_t> row_cols(std::size_t r) const noexcept;
+  std::span<const double> row_values(std::size_t r) const noexcept;
+
+  /// Residual max-norm ||b - A x||_inf.
+  double residual_inf(std::span<const double> x,
+                      std::span<const double> b) const;
+
+  /// True if strictly diagonally dominant (sufficient for Jacobi /
+  /// asynchronous-Jacobi convergence).
+  bool strictly_diagonally_dominant() const noexcept;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> row_ptr_;
+  std::vector<std::size_t> col_idx_;
+  std::vector<double> values_;
+};
+
+}  // namespace aiac::linalg

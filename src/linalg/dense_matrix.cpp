@@ -1,0 +1,89 @@
+#include "linalg/dense_matrix.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace aiac::linalg {
+
+DenseMatrix::DenseMatrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+void DenseMatrix::multiply(std::span<const double> x,
+                           std::span<double> y) const {
+  if (x.size() != cols_ || y.size() != rows_)
+    throw std::invalid_argument("DenseMatrix::multiply: size mismatch");
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    const double* row = &data_[r * cols_];
+    for (std::size_t c = 0; c < cols_; ++c) sum += row[c] * x[c];
+    y[r] = sum;
+  }
+}
+
+DenseMatrix DenseMatrix::identity(std::size_t n) {
+  DenseMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+DenseLu::DenseLu(DenseMatrix a) : lu_(std::move(a)) {
+  if (lu_.rows() != lu_.cols())
+    throw std::invalid_argument("DenseLu: matrix must be square");
+  const std::size_t n = lu_.rows();
+  perm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting: pick the largest magnitude in column k.
+    std::size_t pivot = k;
+    double best = std::abs(lu_(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double mag = std::abs(lu_(r, k));
+      if (mag > best) {
+        best = mag;
+        pivot = r;
+      }
+    }
+    if (best == 0.0) throw std::runtime_error("DenseLu: singular matrix");
+    if (pivot != k) {
+      for (std::size_t c = 0; c < n; ++c)
+        std::swap(lu_(k, c), lu_(pivot, c));
+      std::swap(perm_[k], perm_[pivot]);
+      perm_sign_ = -perm_sign_;
+    }
+    const double inv_pivot = 1.0 / lu_(k, k);
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double factor = lu_(r, k) * inv_pivot;
+      lu_(r, k) = factor;
+      for (std::size_t c = k + 1; c < n; ++c)
+        lu_(r, c) -= factor * lu_(k, c);
+    }
+  }
+}
+
+void DenseLu::solve(std::span<double> b) const {
+  const std::size_t n = lu_.rows();
+  if (b.size() != n)
+    throw std::invalid_argument("DenseLu::solve: size mismatch");
+  // Apply permutation: x = P b.
+  std::vector<double> pb(n);
+  for (std::size_t i = 0; i < n; ++i) pb[i] = b[perm_[i]];
+  // Forward substitution (unit lower-triangular).
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < i; ++j) pb[i] -= lu_(i, j) * pb[j];
+  // Back substitution.
+  for (std::size_t ii = n; ii-- > 0;) {
+    for (std::size_t j = ii + 1; j < n; ++j) pb[ii] -= lu_(ii, j) * pb[j];
+    pb[ii] /= lu_(ii, ii);
+  }
+  for (std::size_t i = 0; i < n; ++i) b[i] = pb[i];
+}
+
+double DenseLu::determinant() const noexcept {
+  double det = perm_sign_;
+  for (std::size_t i = 0; i < lu_.rows(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+}  // namespace aiac::linalg

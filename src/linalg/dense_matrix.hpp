@@ -1,0 +1,63 @@
+// Row-major dense matrix with LU factorization (partial pivoting).
+// Newton on small component blocks uses this when the block is too small
+// for banded storage to pay off, and the tests use it as a reference
+// against which the banded solver is validated.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace aiac::linalg {
+
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  /// rows x cols, zero-initialized.
+  DenseMatrix(std::size_t rows, std::size_t cols);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  std::span<const double> data() const noexcept { return data_; }
+  std::span<double> data() noexcept { return data_; }
+
+  /// y = A x. Requires x.size()==cols, y.size()==rows.
+  void multiply(std::span<const double> x, std::span<double> y) const;
+
+  static DenseMatrix identity(std::size_t n);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// LU factorization with partial pivoting of a square matrix.
+/// Throws std::runtime_error on (numerical) singularity.
+class DenseLu {
+ public:
+  explicit DenseLu(DenseMatrix a);
+
+  std::size_t size() const noexcept { return lu_.rows(); }
+
+  /// Solves A x = b in place: b is overwritten with x.
+  void solve(std::span<double> b) const;
+
+  /// Determinant (product of pivots with sign of the permutation).
+  double determinant() const noexcept;
+
+ private:
+  DenseMatrix lu_;
+  std::vector<std::size_t> perm_;
+  int perm_sign_ = 1;
+};
+
+}  // namespace aiac::linalg

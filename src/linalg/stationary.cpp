@@ -1,0 +1,127 @@
+#include "linalg/stationary.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/vector_ops.hpp"
+
+namespace aiac::linalg {
+
+namespace {
+void check_inputs(const CsrMatrix& a, std::span<const double> b,
+                  std::span<const double> x0) {
+  if (a.rows() != a.cols())
+    throw std::invalid_argument("stationary solver: matrix must be square");
+  if (b.size() != a.rows() || x0.size() != a.rows())
+    throw std::invalid_argument("stationary solver: size mismatch");
+}
+
+/// One sweep updating into `x` with relaxation; `use_fresh` selects
+/// Gauss-Seidel (read from x) vs Jacobi (read from x_prev).
+double sweep(const CsrMatrix& a, std::span<const double> b,
+             std::span<const double> x_prev, std::span<double> x,
+             bool use_fresh, double omega) {
+  const std::size_t n = a.rows();
+  double max_delta = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto cols = a.row_cols(r);
+    const auto vals = a.row_values(r);
+    double diag = 0.0;
+    double sum = 0.0;
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      const std::size_t c = cols[k];
+      if (c == r) {
+        diag = vals[k];
+      } else {
+        sum += vals[k] * (use_fresh ? x[c] : x_prev[c]);
+      }
+    }
+    if (diag == 0.0)
+      throw std::runtime_error("stationary solver: zero diagonal at row " +
+                               std::to_string(r));
+    const double gs_value = (b[r] - sum) / diag;
+    const double old = use_fresh ? x[r] : x_prev[r];
+    const double next = old + omega * (gs_value - old);
+    max_delta = std::max(max_delta, std::abs(next - old));
+    x[r] = next;
+  }
+  return max_delta;
+}
+
+IterativeResult run(const CsrMatrix& a, std::span<const double> b,
+                    std::span<const double> x0, const IterativeOptions& opts,
+                    bool use_fresh, double omega) {
+  check_inputs(a, b, x0);
+  IterativeResult result;
+  result.x.assign(x0.begin(), x0.end());
+  std::vector<double> prev(result.x);
+  for (std::size_t it = 0; it < opts.max_iterations; ++it) {
+    if (!use_fresh) prev = result.x;
+    sweep(a, b, prev, result.x, use_fresh, omega);
+    result.iterations = it + 1;
+    result.residual = a.residual_inf(result.x, b);
+    if (result.residual <= opts.tolerance) {
+      result.converged = true;
+      return result;
+    }
+  }
+  result.residual = a.residual_inf(result.x, b);
+  result.converged = result.residual <= opts.tolerance;
+  return result;
+}
+}  // namespace
+
+IterativeResult jacobi(const CsrMatrix& a, std::span<const double> b,
+                       std::span<const double> x0,
+                       const IterativeOptions& opts) {
+  return run(a, b, x0, opts, /*use_fresh=*/false, /*omega=*/1.0);
+}
+
+IterativeResult gauss_seidel(const CsrMatrix& a, std::span<const double> b,
+                             std::span<const double> x0,
+                             const IterativeOptions& opts) {
+  return run(a, b, x0, opts, /*use_fresh=*/true, /*omega=*/1.0);
+}
+
+IterativeResult sor(const CsrMatrix& a, std::span<const double> b,
+                    std::span<const double> x0,
+                    const IterativeOptions& opts) {
+  if (opts.relaxation <= 0.0 || opts.relaxation >= 2.0)
+    throw std::invalid_argument("SOR: relaxation must be in (0, 2)");
+  return run(a, b, x0, opts, /*use_fresh=*/true, opts.relaxation);
+}
+
+double jacobi_spectral_radius_estimate(const CsrMatrix& a,
+                                       std::size_t power_iterations) {
+  const std::size_t n = a.rows();
+  if (n == 0) return 0.0;
+  std::vector<double> v(n, 1.0 / std::sqrt(static_cast<double>(n)));
+  std::vector<double> w(n, 0.0);
+  double radius = 0.0;
+  for (std::size_t it = 0; it < power_iterations; ++it) {
+    // w = D^{-1}(L+U) v = D^{-1}(A - D) v
+    for (std::size_t r = 0; r < n; ++r) {
+      const auto cols = a.row_cols(r);
+      const auto vals = a.row_values(r);
+      double diag = 0.0;
+      double sum = 0.0;
+      for (std::size_t k = 0; k < cols.size(); ++k) {
+        if (cols[k] == r)
+          diag = vals[k];
+        else
+          sum += vals[k] * v[cols[k]];
+      }
+      if (diag == 0.0)
+        throw std::runtime_error("spectral radius: zero diagonal");
+      w[r] = -sum / diag;
+    }
+    // v is kept unit-norm, so ||w|| estimates the dominant eigenvalue.
+    const double norm = norm2(w);
+    if (norm == 0.0) return 0.0;
+    radius = norm;
+    for (std::size_t r = 0; r < n; ++r) v[r] = w[r] / norm;
+  }
+  return radius;
+}
+
+}  // namespace aiac::linalg

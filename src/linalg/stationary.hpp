@@ -1,0 +1,54 @@
+// Sequential stationary iterative solvers (Jacobi, Gauss-Seidel, SOR).
+//
+// These are the x^{k+1} = g(x^k) fixed-point iterations of the paper's
+// Section 1. They serve as reference implementations for the parallel and
+// asynchronous variants built on the AIAC engine, and as the inner kernels
+// of the linear example application.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "linalg/csr_matrix.hpp"
+
+namespace aiac::linalg {
+
+struct IterativeResult {
+  std::vector<double> x;
+  std::size_t iterations = 0;
+  double residual = 0.0;   // final ||b - A x||_inf
+  bool converged = false;  // residual <= tolerance within max_iterations
+};
+
+struct IterativeOptions {
+  std::size_t max_iterations = 10000;
+  double tolerance = 1e-10;      // on the true residual ||b - A x||_inf
+  double relaxation = 1.0;       // omega, used by SOR only
+};
+
+/// Jacobi iteration: all components updated simultaneously from x^k
+/// (the parallelizable scheme of paper eq. (2)).
+IterativeResult jacobi(const CsrMatrix& a, std::span<const double> b,
+                       std::span<const double> x0,
+                       const IterativeOptions& opts = {});
+
+/// Gauss-Seidel: components updated one at a time using the freshest
+/// values (converges faster, not parallelizable in general — paper §1.1).
+IterativeResult gauss_seidel(const CsrMatrix& a, std::span<const double> b,
+                             std::span<const double> x0,
+                             const IterativeOptions& opts = {});
+
+/// Successive over-relaxation with factor opts.relaxation.
+IterativeResult sor(const CsrMatrix& a, std::span<const double> b,
+                    std::span<const double> x0,
+                    const IterativeOptions& opts = {});
+
+/// Spectral radius estimate of the Jacobi iteration matrix via power
+/// iteration on M = D^{-1}(L+U); < 1 implies Jacobi (and asynchronous
+/// Jacobi, by the Bertsekas-Tsitsiklis theory when the weighted max-norm
+/// contraction holds) converges.
+double jacobi_spectral_radius_estimate(const CsrMatrix& a,
+                                       std::size_t power_iterations = 200);
+
+}  // namespace aiac::linalg

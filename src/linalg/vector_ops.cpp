@@ -1,0 +1,84 @@
+#include "linalg/vector_ops.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace aiac::linalg {
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("dot: size mismatch");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double norm2(std::span<const double> v) noexcept {
+  double sum = 0.0;
+  for (double x : v) sum += x * x;
+  return std::sqrt(sum);
+}
+
+double norm_inf(std::span<const double> v) noexcept {
+  double best = 0.0;
+  for (double x : v) best = std::max(best, std::abs(x));
+  return best;
+}
+
+double norm1(std::span<const double> v) noexcept {
+  double sum = 0.0;
+  for (double x : v) sum += std::abs(x);
+  return sum;
+}
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  if (x.size() != y.size())
+    throw std::invalid_argument("axpy: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void copy(std::span<const double> x, std::span<double> y) {
+  if (x.size() != y.size())
+    throw std::invalid_argument("copy: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = x[i];
+}
+
+void scale(std::span<double> v, double alpha) noexcept {
+  for (double& x : v) x *= alpha;
+}
+
+void fill(std::span<double> v, double value) noexcept {
+  for (double& x : v) x = value;
+}
+
+double max_abs_diff(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("max_abs_diff: size mismatch");
+  double best = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    best = std::max(best, std::abs(a[i] - b[i]));
+  return best;
+}
+
+void subtract(std::span<const double> a, std::span<const double> b,
+              std::span<double> out) {
+  if (a.size() != b.size() || a.size() != out.size())
+    throw std::invalid_argument("subtract: size mismatch");
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+}
+
+std::vector<double> linspace(double lo, double hi, std::size_t n) {
+  std::vector<double> grid(n);
+  if (n == 1) {
+    grid[0] = lo;
+    return grid;
+  }
+  const double step = (hi - lo) / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i)
+    grid[i] = lo + step * static_cast<double>(i);
+  if (n > 1) grid[n - 1] = hi;  // avoid accumulation error at the endpoint
+  return grid;
+}
+
+}  // namespace aiac::linalg

@@ -1,0 +1,92 @@
+#include "ode/brusselator.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace aiac::ode {
+
+Brusselator::Brusselator(Params params) : params_(params) {
+  if (params_.grid_points == 0)
+    throw std::invalid_argument("Brusselator: need at least one grid point");
+  const double np1 = static_cast<double>(params_.grid_points + 1);
+  diffusion_ = params_.alpha * np1 * np1;
+}
+
+double Brusselator::rhs_component(std::size_t j, double /*t*/,
+                                  std::span<const double> window) const {
+  const std::size_t n = dimension();
+  if (j >= n) throw std::out_of_range("Brusselator::rhs_component");
+  const std::size_t i = j / 2;           // grid point index, 0-based
+  const bool is_u = (j % 2) == 0;
+  const double c = diffusion_;
+  if (is_u) {
+    const double u = slot(window, 0);
+    const double v = slot(window, +1);
+    const double u_left =
+        i == 0 ? params_.u_boundary : slot(window, -2);
+    const double u_right =
+        i + 1 == params_.grid_points ? params_.u_boundary : slot(window, +2);
+    return 1.0 + u * u * v - 4.0 * u + c * (u_left - 2.0 * u + u_right);
+  }
+  const double v = slot(window, 0);
+  const double u = slot(window, -1);
+  const double v_left = i == 0 ? params_.v_boundary : slot(window, -2);
+  const double v_right =
+      i + 1 == params_.grid_points ? params_.v_boundary : slot(window, +2);
+  return 3.0 * u - u * u * v + c * (v_left - 2.0 * v + v_right);
+}
+
+double Brusselator::rhs_partial(std::size_t j, std::size_t k, double /*t*/,
+                                std::span<const double> window) const {
+  const std::size_t n = dimension();
+  if (j >= n || k >= n) throw std::out_of_range("Brusselator::rhs_partial");
+  const std::ptrdiff_t d =
+      static_cast<std::ptrdiff_t>(k) - static_cast<std::ptrdiff_t>(j);
+  if (d < -2 || d > 2) return 0.0;
+  const std::size_t i = j / 2;
+  const bool is_u = (j % 2) == 0;
+  const double c = diffusion_;
+  if (is_u) {
+    const double u = slot(window, 0);
+    const double v = slot(window, +1);
+    switch (d) {
+      case 0:
+        return 2.0 * u * v - 4.0 - 2.0 * c;
+      case +1:
+        return u * u;  // d f_u / d v_i
+      case -2:
+        return i == 0 ? 0.0 : c;  // u_{i-1}
+      case +2:
+        return i + 1 == params_.grid_points ? 0.0 : c;  // u_{i+1}
+      default:
+        return 0.0;  // d == -1 would be v_{i-1}: no coupling
+    }
+  }
+  const double u = slot(window, -1);
+  switch (d) {
+    case 0:
+      return -u * u - 2.0 * c;
+    case -1:
+      return 3.0 - 2.0 * u * slot(window, 0);  // d f_v / d u_i
+    case -2:
+      return i == 0 ? 0.0 : c;  // v_{i-1}
+    case +2:
+      return i + 1 == params_.grid_points ? 0.0 : c;  // v_{i+1}
+    default:
+      return 0.0;
+  }
+}
+
+void Brusselator::initial_state(std::span<double> y) const {
+  if (y.size() != dimension())
+    throw std::invalid_argument("Brusselator::initial_state: size mismatch");
+  const double np1 = static_cast<double>(params_.grid_points + 1);
+  for (std::size_t i = 0; i < params_.grid_points; ++i) {
+    const double x = static_cast<double>(i + 1) / np1;
+    y[2 * i] = 1.0 + std::sin(2.0 * std::numbers::pi * x);
+    y[2 * i + 1] = 3.0;
+  }
+}
+
+}  // namespace aiac::ode

@@ -1,0 +1,72 @@
+#include "ode/fisher_kpp.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace aiac::ode {
+
+FisherKpp::FisherKpp(Params params) : params_(params) {
+  if (params_.grid_points == 0)
+    throw std::invalid_argument("FisherKpp: empty grid");
+  if (!(params_.diffusion > 0.0) || !(params_.growth > 0.0))
+    throw std::invalid_argument("FisherKpp: d and r must be positive");
+  if (!(params_.ignition_width >= 0.0 && params_.ignition_width <= 1.0))
+    throw std::invalid_argument("FisherKpp: ignition_width in [0,1]");
+  const double np1 = static_cast<double>(params_.grid_points + 1);
+  diffusion_ = params_.diffusion * np1 * np1;
+}
+
+double FisherKpp::front_speed() const noexcept {
+  return 2.0 * std::sqrt(params_.diffusion * params_.growth);
+}
+
+double FisherKpp::rhs_component(std::size_t j, double /*t*/,
+                                std::span<const double> window) const {
+  if (j >= dimension()) throw std::out_of_range("FisherKpp::rhs_component");
+  const double u = window[1];
+  const double u_left = j == 0 ? 1.0 : window[0];  // burnt boundary
+  const double u_right = j + 1 == dimension() ? 0.0 : window[2];
+  return diffusion_ * (u_left - 2.0 * u + u_right) +
+         params_.growth * u * (1.0 - u);
+}
+
+double FisherKpp::rhs_partial(std::size_t j, std::size_t k, double /*t*/,
+                              std::span<const double> window) const {
+  if (j >= dimension() || k >= dimension())
+    throw std::out_of_range("FisherKpp::rhs_partial");
+  if (j == k)
+    return -2.0 * diffusion_ + params_.growth * (1.0 - 2.0 * window[1]);
+  if (k + 1 == j || k == j + 1) return diffusion_;
+  return 0.0;
+}
+
+void FisherKpp::initial_state(std::span<double> y) const {
+  if (y.size() != dimension())
+    throw std::invalid_argument("FisherKpp::initial_state: size mismatch");
+  const double np1 = static_cast<double>(params_.grid_points + 1);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    const double x = static_cast<double>(i + 1) / np1;
+    // Smooth ignition profile decaying from the left boundary.
+    y[i] = params_.ignition_width <= 0.0
+               ? 0.0
+               : std::exp(-x / params_.ignition_width * 3.0);
+  }
+}
+
+double FisherKpp::front_position(std::span<const double> u) {
+  const std::size_t n = u.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (u[i] < 0.5) {
+      if (i == 0) return 0.0;
+      // Linear interpolation between grid points i-1 and i.
+      const double np1 = static_cast<double>(n + 1);
+      const double x_prev = static_cast<double>(i) / np1;
+      const double x_here = static_cast<double>(i + 1) / np1;
+      const double frac = (u[i - 1] - 0.5) / (u[i - 1] - u[i]);
+      return x_prev + frac * (x_here - x_prev);
+    }
+  }
+  return 1.0;  // fully burnt
+}
+
+}  // namespace aiac::ode

@@ -1,0 +1,63 @@
+#include "ode/integrators.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace aiac::ode {
+
+IntegrationResult implicit_euler_integrate(const OdeSystem& system,
+                                           const IntegrationOptions& opts) {
+  if (opts.num_steps == 0)
+    throw std::invalid_argument("implicit_euler_integrate: num_steps == 0");
+  const std::size_t n = system.dimension();
+  const double dt = opts.t_end / static_cast<double>(opts.num_steps);
+  IntegrationResult result{Trajectory(n, opts.num_steps), 0, true};
+
+  std::vector<double> state(n);
+  system.initial_state(state);
+  result.trajectory.set_column(0, state);
+
+  std::vector<double> prev(state);
+  std::vector<double> ghost;  // never read for the full-range block
+  ghost.resize(system.stencil_halfwidth(), 0.0);
+  for (std::size_t step = 1; step <= opts.num_steps; ++step) {
+    const double t_next = dt * static_cast<double>(step);
+    // Warm start from the previous time step.
+    const BlockSolveResult solve = block_implicit_euler_step(
+        system, /*first=*/0, prev, state, ghost, ghost, t_next, dt,
+        opts.newton);
+    result.total_newton_iterations += solve.newton_iterations;
+    result.all_steps_converged &= solve.converged;
+    result.trajectory.set_column(step, state);
+    prev = state;
+  }
+  return result;
+}
+
+Trajectory rk4_integrate(const OdeSystem& system, double t_end,
+                         std::size_t num_steps) {
+  if (num_steps == 0)
+    throw std::invalid_argument("rk4_integrate: num_steps == 0");
+  const std::size_t n = system.dimension();
+  const double dt = t_end / static_cast<double>(num_steps);
+  Trajectory traj(n, num_steps);
+  std::vector<double> y(n), k1(n), k2(n), k3(n), k4(n), tmp(n);
+  system.initial_state(y);
+  traj.set_column(0, y);
+  for (std::size_t step = 0; step < num_steps; ++step) {
+    const double t = dt * static_cast<double>(step);
+    system.rhs_full(t, y, k1);
+    for (std::size_t i = 0; i < n; ++i) tmp[i] = y[i] + 0.5 * dt * k1[i];
+    system.rhs_full(t + 0.5 * dt, tmp, k2);
+    for (std::size_t i = 0; i < n; ++i) tmp[i] = y[i] + 0.5 * dt * k2[i];
+    system.rhs_full(t + 0.5 * dt, tmp, k3);
+    for (std::size_t i = 0; i < n; ++i) tmp[i] = y[i] + dt * k3[i];
+    system.rhs_full(t + dt, tmp, k4);
+    for (std::size_t i = 0; i < n; ++i)
+      y[i] += dt / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+    traj.set_column(step + 1, y);
+  }
+  return traj;
+}
+
+}  // namespace aiac::ode

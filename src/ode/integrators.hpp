@@ -1,0 +1,38 @@
+// Sequential time integrators.
+//
+// `implicit_euler_integrate` is the reference the parallel iteration must
+// converge to: one banded Newton solve over the *full* system per time
+// step. `rk4_integrate` is an independent explicit method used in tests to
+// cross-validate the implicit solver on mildly stiff configurations.
+#pragma once
+
+#include <cstddef>
+
+#include "ode/newton.hpp"
+#include "ode/ode_system.hpp"
+#include "ode/trajectory.hpp"
+
+namespace aiac::ode {
+
+struct IntegrationOptions {
+  double t_end = 10.0;
+  std::size_t num_steps = 1000;  // dt = t_end / num_steps
+  NewtonOptions newton = {};
+};
+
+struct IntegrationResult {
+  Trajectory trajectory;           // dimension x (num_steps + 1)
+  std::size_t total_newton_iterations = 0;
+  bool all_steps_converged = true;
+};
+
+/// Implicit (backward) Euler over [0, t_end]; Newton warm-started from the
+/// previous time step's value.
+IntegrationResult implicit_euler_integrate(const OdeSystem& system,
+                                           const IntegrationOptions& opts);
+
+/// Classic fixed-step fourth-order Runge-Kutta.
+Trajectory rk4_integrate(const OdeSystem& system, double t_end,
+                         std::size_t num_steps);
+
+}  // namespace aiac::ode

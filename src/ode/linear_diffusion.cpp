@@ -1,0 +1,79 @@
+#include "ode/linear_diffusion.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "linalg/banded_matrix.hpp"
+
+namespace aiac::ode {
+
+LinearDiffusion::LinearDiffusion(Params params) : params_(std::move(params)) {
+  if (params_.grid_points == 0)
+    throw std::invalid_argument("LinearDiffusion: empty grid");
+  if (!params_.source.empty() &&
+      params_.source.size() != params_.grid_points)
+    throw std::invalid_argument("LinearDiffusion: source size mismatch");
+  if (!params_.initial.empty() &&
+      params_.initial.size() != params_.grid_points)
+    throw std::invalid_argument("LinearDiffusion: initial size mismatch");
+  if (!(params_.nu > 0.0))
+    throw std::invalid_argument("LinearDiffusion: nu must be positive");
+  const double np1 = static_cast<double>(params_.grid_points + 1);
+  diffusion_ = params_.nu * np1 * np1;
+}
+
+double LinearDiffusion::rhs_component(std::size_t j, double /*t*/,
+                                      std::span<const double> window) const {
+  if (j >= dimension()) throw std::out_of_range("LinearDiffusion::rhs");
+  const double u = window[1];
+  const double u_left = j == 0 ? params_.left_boundary : window[0];
+  const double u_right =
+      j + 1 == dimension() ? params_.right_boundary : window[2];
+  const double f = params_.source.empty() ? 0.0 : params_.source[j];
+  return diffusion_ * (u_left - 2.0 * u + u_right) - params_.sigma * u + f;
+}
+
+double LinearDiffusion::rhs_partial(std::size_t j, std::size_t k,
+                                    double /*t*/,
+                                    std::span<const double>) const {
+  if (j >= dimension() || k >= dimension())
+    throw std::out_of_range("LinearDiffusion::rhs_partial");
+  if (j == k) return -2.0 * diffusion_ - params_.sigma;
+  if (k + 1 == j)  // left neighbor exists iff j > 0
+    return diffusion_;
+  if (k == j + 1) return diffusion_;
+  return 0.0;
+}
+
+void LinearDiffusion::initial_state(std::span<double> y) const {
+  if (y.size() != dimension())
+    throw std::invalid_argument("LinearDiffusion::initial_state size");
+  if (!params_.initial.empty()) {
+    for (std::size_t i = 0; i < y.size(); ++i) y[i] = params_.initial[i];
+    return;
+  }
+  const double np1 = static_cast<double>(params_.grid_points + 1);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    const double x = static_cast<double>(i + 1) / np1;
+    y[i] = std::sin(std::numbers::pi * x);
+  }
+}
+
+std::vector<double> LinearDiffusion::steady_state() const {
+  const std::size_t n = dimension();
+  // Solve (2 diffusion + sigma) u_i - diffusion (u_{i-1} + u_{i+1}) = f_i
+  // with boundary data moved to the right-hand side.
+  std::vector<double> lower(n, -diffusion_);
+  std::vector<double> diag(n, 2.0 * diffusion_ + params_.sigma);
+  std::vector<double> upper(n, -diffusion_);
+  std::vector<double> rhs(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    rhs[i] = params_.source.empty() ? 0.0 : params_.source[i];
+  rhs[0] += diffusion_ * params_.left_boundary;
+  rhs[n - 1] += diffusion_ * params_.right_boundary;
+  linalg::solve_tridiagonal(lower, diag, upper, rhs);
+  return rhs;
+}
+
+}  // namespace aiac::ode

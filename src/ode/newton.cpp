@@ -1,0 +1,143 @@
+#include "ode/newton.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "linalg/banded_matrix.hpp"
+
+namespace aiac::ode {
+
+ScalarSolveResult scalar_implicit_euler_solve(const OdeSystem& system,
+                                              std::size_t j, double y_prev,
+                                              std::span<const double> window,
+                                              double t_next, double dt,
+                                              const NewtonOptions& opts) {
+  const std::size_t s = system.stencil_halfwidth();
+  if (window.size() != 2 * s + 1)
+    throw std::invalid_argument("scalar solve: wrong window size");
+  std::vector<double> w(window.begin(), window.end());
+  ScalarSolveResult result;
+  result.value = w[s];  // initial guess: frozen iterate's value at t_next
+  for (std::size_t it = 0; it <= opts.max_iterations; ++it) {
+    w[s] = result.value;
+    const double f = system.rhs_component(j, t_next, w);
+    const double g = result.value - y_prev - dt * f;
+    double gp = 1.0 - dt * system.rhs_partial(j, j, t_next, w);
+    if (std::abs(gp) < opts.min_derivative)
+      gp = gp < 0 ? -opts.min_derivative : opts.min_derivative;
+    const double delta = g / gp;
+    if (std::abs(delta) <= opts.tolerance) {
+      // Converged (possibly on the initial check, at zero iterations —
+      // see NewtonOptions::check_cost); apply the final tiny correction.
+      result.value -= delta;
+      result.converged = true;
+      break;
+    }
+    if (it == opts.max_iterations) break;  // budget exhausted
+    result.value -= delta;
+    ++result.iterations;
+  }
+  return result;
+}
+
+namespace {
+
+/// Fills `window` (size 2s+1) for global component j from the block
+/// [first, first+nb) values `y` and the ghost values.
+void fill_window(const OdeSystem& system, std::size_t j, std::size_t first,
+                 std::span<const double> y, std::span<const double> ghost_left,
+                 std::span<const double> ghost_right,
+                 std::span<double> window) {
+  const std::size_t s = system.stencil_halfwidth();
+  const std::size_t nb = y.size();
+  const std::size_t dim = system.dimension();
+  for (std::size_t slot = 0; slot < 2 * s + 1; ++slot) {
+    const std::ptrdiff_t k = static_cast<std::ptrdiff_t>(j) +
+                             static_cast<std::ptrdiff_t>(slot) -
+                             static_cast<std::ptrdiff_t>(s);
+    double value = 0.0;
+    if (k >= 0 && k < static_cast<std::ptrdiff_t>(dim)) {
+      const std::size_t gk = static_cast<std::size_t>(k);
+      if (gk >= first && gk < first + nb) {
+        value = y[gk - first];
+      } else if (gk < first) {
+        // ghost_left holds components [first - s, first); written as
+        // gk + s - first to avoid size_t underflow when first < s.
+        value = ghost_left[gk + s - first];
+      } else {
+        // ghost_right holds components [first + nb, first + nb + s)
+        value = ghost_right[gk - first - nb];
+      }
+    }
+    window[slot] = value;
+  }
+}
+
+}  // namespace
+
+BlockSolveResult block_implicit_euler_step(
+    const OdeSystem& system, std::size_t first, std::span<const double> y_prev,
+    std::span<double> y_next, std::span<const double> ghost_left,
+    std::span<const double> ghost_right, double t_next, double dt,
+    const NewtonOptions& opts) {
+  const std::size_t nb = y_next.size();
+  const std::size_t s = system.stencil_halfwidth();
+  if (y_prev.size() != nb)
+    throw std::invalid_argument("block step: y_prev size mismatch");
+  if (first + nb > system.dimension())
+    throw std::invalid_argument("block step: range exceeds dimension");
+  if ((first > 0 && ghost_left.size() < s) ||
+      (first + nb < system.dimension() && ghost_right.size() < s))
+    throw std::invalid_argument("block step: ghost spans too small");
+
+  BlockSolveResult result;
+  std::vector<double> window(2 * s + 1);
+  std::vector<double> rhs(nb);
+  for (std::size_t it = 0; it < opts.max_iterations; ++it) {
+    // Residual F(w) = w - y_prev - dt f(t_next, w); checked before any
+    // factorization so a converged warm start costs one evaluation only.
+    double residual_norm = 0.0;
+    for (std::size_t r = 0; r < nb; ++r) {
+      const std::size_t j = first + r;
+      fill_window(system, j, first, y_next, ghost_left, ghost_right, window);
+      rhs[r] = -(y_next[r] - y_prev[r] -
+                 dt * system.rhs_component(j, t_next, window));
+      residual_norm = std::max(residual_norm, std::abs(rhs[r]));
+    }
+    if (residual_norm <= opts.tolerance) {
+      result.converged = true;
+      result.skipped_by_check = it == 0;
+      break;
+    }
+    // Jacobian A = I - dt J, banded with bandwidth s.
+    linalg::BandedMatrix a(nb, s, s);
+    for (std::size_t r = 0; r < nb; ++r) {
+      const std::size_t j = first + r;
+      fill_window(system, j, first, y_next, ghost_left, ghost_right, window);
+      const std::size_t c_lo = r > s ? r - s : 0;
+      const std::size_t c_hi = std::min(nb - 1, r + s);
+      for (std::size_t c = c_lo; c <= c_hi; ++c) {
+        const std::size_t k = first + c;
+        const double jac = system.rhs_partial(j, k, t_next, window);
+        a.ref(r, c) = (r == c ? 1.0 : 0.0) - dt * jac;
+      }
+    }
+    linalg::BandedLu lu(std::move(a));
+    lu.solve(rhs);  // rhs now holds the Newton update
+    double update_norm = 0.0;
+    for (std::size_t r = 0; r < nb; ++r) {
+      y_next[r] += rhs[r];
+      update_norm = std::max(update_norm, std::abs(rhs[r]));
+    }
+    ++result.newton_iterations;
+    result.update_norm = update_norm;
+    if (update_norm <= opts.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace aiac::ode

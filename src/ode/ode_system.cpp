@@ -1,0 +1,35 @@
+#include "ode/ode_system.hpp"
+
+#include <stdexcept>
+
+namespace aiac::ode {
+
+void OdeSystem::extract_window(std::span<const double> y, std::size_t j,
+                               std::span<double> window) const {
+  const std::size_t s = stencil_halfwidth();
+  if (window.size() != 2 * s + 1)
+    throw std::invalid_argument("extract_window: wrong window size");
+  const std::size_t n = dimension();
+  for (std::size_t slot = 0; slot < window.size(); ++slot) {
+    const std::ptrdiff_t idx =
+        static_cast<std::ptrdiff_t>(j) + static_cast<std::ptrdiff_t>(slot) -
+        static_cast<std::ptrdiff_t>(s);
+    window[slot] = (idx >= 0 && idx < static_cast<std::ptrdiff_t>(n))
+                       ? y[static_cast<std::size_t>(idx)]
+                       : 0.0;
+  }
+}
+
+void OdeSystem::rhs_full(double t, std::span<const double> y,
+                         std::span<double> dydt) const {
+  const std::size_t n = dimension();
+  if (y.size() != n || dydt.size() != n)
+    throw std::invalid_argument("rhs_full: size mismatch");
+  std::vector<double> window(window_size());
+  for (std::size_t j = 0; j < n; ++j) {
+    extract_window(y, j, window);
+    dydt[j] = rhs_component(j, t, window);
+  }
+}
+
+}  // namespace aiac::ode

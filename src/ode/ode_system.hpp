@@ -1,0 +1,58 @@
+// Componentwise ODE system interface.
+//
+// The AIAC engine distributes the *components* of y' = f(t, y) over
+// processors (paper eq. (2)); all it needs from a problem is per-component
+// evaluation of f and of the Jacobian entries within a banded stencil.
+// Components couple only within `stencil_halfwidth()` indices of each
+// other, which is what makes the linear processor chain with two ghost
+// components per side (paper §5) correct.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace aiac::ode {
+
+/// Fixed-size view of the components a single f_j may read:
+/// window[stencil + d] holds y_{j+d} for d in [-stencil, +stencil].
+/// Entries that would fall outside [0, dimension) are never read; the
+/// system substitutes its boundary conditions internally.
+class OdeSystem {
+ public:
+  virtual ~OdeSystem() = default;
+
+  /// Number of components of y.
+  virtual std::size_t dimension() const noexcept = 0;
+
+  /// Coupling halfwidth in component-index space.
+  virtual std::size_t stencil_halfwidth() const noexcept = 0;
+
+  /// f_j(t, y) given the stencil window around j.
+  virtual double rhs_component(std::size_t j, double t,
+                               std::span<const double> window) const = 0;
+
+  /// d f_j / d y_k for |k - j| <= stencil_halfwidth(). k indexes globally.
+  virtual double rhs_partial(std::size_t j, std::size_t k, double t,
+                             std::span<const double> window) const = 0;
+
+  /// Initial condition y(0) into `y` (size dimension()).
+  virtual void initial_state(std::span<double> y) const = 0;
+
+  /// Full right-hand side; default loops rhs_component over a sliding
+  /// window. `y` and `dydt` have size dimension().
+  virtual void rhs_full(double t, std::span<const double> y,
+                        std::span<double> dydt) const;
+
+  /// Window width = 2*stencil_halfwidth() + 1.
+  std::size_t window_size() const noexcept {
+    return 2 * stencil_halfwidth() + 1;
+  }
+
+  /// Copies the window around component j from a full state vector,
+  /// zero-filling out-of-range slots (which rhs_component never reads).
+  void extract_window(std::span<const double> y, std::size_t j,
+                      std::span<double> window) const;
+};
+
+}  // namespace aiac::ode

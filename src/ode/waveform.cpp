@@ -1,0 +1,77 @@
+#include "ode/waveform.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+namespace aiac::ode {
+
+std::vector<std::size_t> even_partition(std::size_t total,
+                                        std::size_t parts) {
+  if (parts == 0) throw std::invalid_argument("even_partition: zero parts");
+  if (total < parts)
+    throw std::invalid_argument("even_partition: fewer items than parts");
+  std::vector<std::size_t> starts(parts + 1);
+  for (std::size_t p = 0; p <= parts; ++p)
+    starts[p] = total * p / parts;
+  return starts;
+}
+
+WaveformResult waveform_relaxation(const OdeSystem& system,
+                                   const WaveformOptions& opts) {
+  const std::size_t n = system.dimension();
+  const auto starts = even_partition(n, opts.blocks);
+
+  std::vector<std::unique_ptr<WaveformBlock>> blocks;
+  blocks.reserve(opts.blocks);
+  for (std::size_t b = 0; b < opts.blocks; ++b) {
+    WaveformBlockConfig config;
+    config.first = starts[b];
+    config.count = starts[b + 1] - starts[b];
+    config.num_steps = opts.num_steps;
+    config.t_end = opts.t_end;
+    config.mode = opts.mode;
+    config.newton = opts.newton;
+    blocks.push_back(std::make_unique<WaveformBlock>(system, config));
+  }
+
+  WaveformResult result;
+  result.work_per_block.assign(opts.blocks, 0.0);
+
+  for (std::size_t outer = 0; outer < opts.max_outer_iterations; ++outer) {
+    double global_residual = 0.0;
+    for (std::size_t b = 0; b < opts.blocks; ++b) {
+      const auto stats = blocks[b]->iterate();
+      result.total_work += stats.work;
+      result.work_per_block[b] += stats.work;
+      global_residual = std::max(global_residual, stats.residual);
+    }
+    // Synchronous all-neighbor exchange after the sweep (SISC semantics).
+    for (std::size_t b = 0; b < opts.blocks; ++b) {
+      if (b > 0) {
+        const bool ok = blocks[b - 1]->accept_right_ghosts(
+            blocks[b]->boundary_for_left());
+        if (!ok)
+          throw std::logic_error("waveform_relaxation: ghost rejected");
+      }
+      if (b + 1 < opts.blocks) {
+        const bool ok = blocks[b + 1]->accept_left_ghosts(
+            blocks[b]->boundary_for_right());
+        if (!ok)
+          throw std::logic_error("waveform_relaxation: ghost rejected");
+      }
+    }
+    result.residual_history.push_back(global_residual);
+    result.outer_iterations = outer + 1;
+    if (global_residual <= opts.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.trajectory = Trajectory(n, opts.num_steps);
+  for (const auto& block : blocks) block->copy_local_into(result.trajectory);
+  return result;
+}
+
+}  // namespace aiac::ode

@@ -1,0 +1,46 @@
+// Sequential block-Jacobi waveform relaxation.
+//
+// This is the iteration the parallel AIAC algorithm distributes, executed
+// in-process with zero-cost, perfectly synchronous communications. With a
+// single block it reduces to plain implicit Euler (one outer iteration
+// converges the Newton warm starts). It is the numerical reference the
+// simulated and threaded engines are validated against, and a baseline
+// for the ablation benches.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ode/ode_system.hpp"
+#include "ode/trajectory.hpp"
+#include "ode/waveform_block.hpp"
+
+namespace aiac::ode {
+
+struct WaveformOptions {
+  std::size_t blocks = 1;
+  std::size_t num_steps = 100;
+  double t_end = 10.0;
+  double tolerance = 1e-8;        // on max local residual
+  std::size_t max_outer_iterations = 5000;
+  LocalSolveMode mode = LocalSolveMode::kBlockNewton;
+  NewtonOptions newton = {};
+};
+
+struct WaveformResult {
+  Trajectory trajectory;                  // dimension x num_steps
+  std::size_t outer_iterations = 0;
+  bool converged = false;
+  std::vector<double> residual_history;   // global residual per outer iter
+  double total_work = 0.0;                // Newton work units, all blocks
+  std::vector<double> work_per_block;     // cumulative per block
+};
+
+/// Splits `total` components into `parts` near-equal contiguous ranges;
+/// returns the start index of each part plus a final `total` sentinel.
+std::vector<std::size_t> even_partition(std::size_t total, std::size_t parts);
+
+WaveformResult waveform_relaxation(const OdeSystem& system,
+                                   const WaveformOptions& opts);
+
+}  // namespace aiac::ode

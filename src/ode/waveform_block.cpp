@@ -1,0 +1,363 @@
+#include "ode/waveform_block.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aiac::ode {
+
+WaveformBlock::WaveformBlock(const OdeSystem& system,
+                             const WaveformBlockConfig& config)
+    : system_(&system),
+      stencil_(system.stencil_halfwidth()),
+      first_(config.first),
+      count_(config.count),
+      num_steps_(config.num_steps),
+      dt_(config.t_end / static_cast<double>(config.num_steps)),
+      mode_(config.mode),
+      newton_(config.newton),
+      receive_filter_(config.receive_filter) {
+  if (config.num_steps == 0)
+    throw std::invalid_argument("WaveformBlock: num_steps == 0");
+  if (count_ < stencil_)
+    throw std::invalid_argument(
+        "WaveformBlock: a block must own at least stencil_halfwidth() "
+        "components");
+  if (first_ + count_ > system.dimension())
+    throw std::invalid_argument("WaveformBlock: range exceeds dimension");
+
+  old_ = Trajectory(extended_rows(), num_steps_);
+  // Waveform-relaxation start: every trajectory constant at y(0).
+  std::vector<double> y0(system.dimension());
+  system.initial_state(y0);
+  for (std::size_t row = 0; row < extended_rows(); ++row) {
+    const std::ptrdiff_t global = static_cast<std::ptrdiff_t>(first_ + row) -
+                                  static_cast<std::ptrdiff_t>(stencil_);
+    if (global < 0 || global >= static_cast<std::ptrdiff_t>(y0.size())) {
+      continue;  // out-of-domain ghost row, never read
+    }
+    const double value = y0[static_cast<std::size_t>(global)];
+    auto r = old_.row(row);
+    std::fill(r.begin(), r.end(), value);
+  }
+  new_ = old_;
+}
+
+void WaveformBlock::invalidate_fast_path() {
+  fast_path_valid_ = false;
+  step_solved_.assign(num_steps_ + 1, false);
+}
+
+void WaveformBlock::refresh_ghost_snapshot() {
+  if (ghost_snapshot_.components() != 2 * stencil_ ||
+      ghost_snapshot_.num_steps() != num_steps_)
+    ghost_snapshot_ = Trajectory(2 * stencil_, num_steps_);
+  for (std::size_t g = 0; g < stencil_; ++g) {
+    auto left = old_.row(g);
+    auto right = old_.row(stencil_ + count_ + g);
+    auto snap_left = ghost_snapshot_.row(g);
+    auto snap_right = ghost_snapshot_.row(stencil_ + g);
+    std::copy(left.begin(), left.end(), snap_left.begin());
+    std::copy(right.begin(), right.end(), snap_right.begin());
+  }
+  fast_path_valid_ = true;
+}
+
+bool WaveformBlock::ghosts_unchanged_at(std::size_t step) const {
+  for (std::size_t g = 0; g < stencil_; ++g) {
+    if (old_.at(g, step) != ghost_snapshot_.at(g, step)) return false;
+    if (old_.at(stencil_ + count_ + g, step) !=
+        ghost_snapshot_.at(stencil_ + g, step))
+      return false;
+  }
+  return true;
+}
+
+WaveformBlock::IterationStats WaveformBlock::iterate() {
+  IterationStats stats = mode_ == LocalSolveMode::kBlockNewton
+                             ? iterate_block_mode()
+                             : iterate_scalar_mode();
+  stats.residual = new_.max_abs_diff_rows(old_, stencil_, count_);
+  last_residual_ = stats.residual;
+  // "Copy Ynew in Yold" — owned rows only; ghost rows of Yold are updated
+  // by the receive handlers.
+  for (std::size_t r = 0; r < count_; ++r) {
+    auto src = new_.row(stencil_ + r);
+    auto dst = old_.row(stencil_ + r);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  return stats;
+}
+
+WaveformBlock::IterationStats WaveformBlock::iterate_block_mode() {
+  IterationStats stats;
+  if (step_solved_.size() != num_steps_ + 1)
+    step_solved_.assign(num_steps_ + 1, false);
+  std::vector<double> y_prev(count_);
+  std::vector<double> y_next(count_);
+  std::vector<double> ghost_left(stencil_);
+  std::vector<double> ghost_right(stencil_);
+  // Tracks whether the previous time step's output differs from the
+  // previous outer iterate (the input cascade of the fast path).
+  bool prev_step_changed = false;
+  for (std::size_t step = 1; step <= num_steps_; ++step) {
+    if (fast_path_valid_ && !prev_step_changed && step_solved_[step] &&
+        ghosts_unchanged_at(step)) {
+      // Inputs bitwise identical to the previous iterate and that iterate
+      // solved this step to tolerance: the solution is unchanged.
+      for (std::size_t r = 0; r < count_; ++r)
+        new_.at(stencil_ + r, step) = old_.at(stencil_ + r, step);
+      stats.work += newton_.step_skip_cost;
+      continue;
+    }
+    const double t_next = dt_ * static_cast<double>(step);
+    for (std::size_t r = 0; r < count_; ++r) {
+      y_prev[r] = new_.at(stencil_ + r, step - 1);
+      y_next[r] = old_.at(stencil_ + r, step);  // warm start: old iterate
+    }
+    for (std::size_t g = 0; g < stencil_; ++g) {
+      ghost_left[g] = old_.at(g, step);
+      ghost_right[g] = old_.at(stencil_ + count_ + g, step);
+    }
+    const BlockSolveResult solve = block_implicit_euler_step(
+        *system_, first_, y_prev, y_next, ghost_left, ghost_right, t_next,
+        dt_, newton_);
+    stats.newton_iterations += solve.newton_iterations;
+    stats.work += (newton_.check_cost +
+                   static_cast<double>(solve.newton_iterations)) *
+                  static_cast<double>(count_);
+    stats.all_converged &= solve.converged;
+    step_solved_[step] = solve.converged;
+    bool changed = false;
+    for (std::size_t r = 0; r < count_; ++r) {
+      if (y_next[r] != old_.at(stencil_ + r, step)) changed = true;
+      new_.at(stencil_ + r, step) = y_next[r];
+    }
+    prev_step_changed = changed;
+  }
+  refresh_ghost_snapshot();
+  return stats;
+}
+
+WaveformBlock::IterationStats WaveformBlock::iterate_scalar_mode() {
+  IterationStats stats;
+  const std::size_t w = 2 * stencil_ + 1;
+  std::vector<double> window(w);
+  // Paper Algorithm 1 loop order: component outer, time inner; every
+  // neighboring component (local ones included) is read from Yold.
+  for (std::size_t r = 0; r < count_; ++r) {
+    const std::size_t j = first_ + r;
+    for (std::size_t step = 1; step <= num_steps_; ++step) {
+      const double t_next = dt_ * static_cast<double>(step);
+      for (std::size_t slot = 0; slot < w; ++slot) {
+        // Extended row of global component j + (slot - stencil_).
+        const std::size_t row = r + slot;  // == (j+slot-s) - (first-s)
+        window[slot] = old_.at(row, step);
+      }
+      const double y_prev = new_.at(stencil_ + r, step - 1);
+      const ScalarSolveResult solve = scalar_implicit_euler_solve(
+          *system_, j, y_prev, window, t_next, dt_, newton_);
+      new_.at(stencil_ + r, step) = solve.value;
+      stats.newton_iterations += solve.iterations;
+      stats.work +=
+          newton_.check_cost + static_cast<double>(solve.iterations);
+      stats.all_converged &= solve.converged;
+    }
+  }
+  return stats;
+}
+
+BoundaryMessage WaveformBlock::boundary_for_left() const {
+  BoundaryMessage msg;
+  msg.global_first = first_;
+  msg.row_count = stencil_;
+  msg.points = num_steps_ + 1;
+  msg.sender_residual = last_residual_;
+  msg.rows.reserve(stencil_ * msg.points);
+  for (std::size_t g = 0; g < stencil_; ++g) {
+    auto row = old_.row(stencil_ + g);
+    msg.rows.insert(msg.rows.end(), row.begin(), row.end());
+  }
+  return msg;
+}
+
+BoundaryMessage WaveformBlock::boundary_for_right() const {
+  BoundaryMessage msg;
+  msg.global_first = first_ + count_ - stencil_;
+  msg.row_count = stencil_;
+  msg.points = num_steps_ + 1;
+  msg.sender_residual = last_residual_;
+  msg.rows.reserve(stencil_ * msg.points);
+  for (std::size_t g = 0; g < stencil_; ++g) {
+    auto row = old_.row(count_ + g);  // components [first+count-s, first+count)
+    msg.rows.insert(msg.rows.end(), row.begin(), row.end());
+  }
+  return msg;
+}
+
+bool WaveformBlock::accept_left_ghosts(const BoundaryMessage& msg) {
+  // The needed left ghosts are components [first - s, first).
+  if (first_ < stencil_) return false;  // at/near the domain boundary
+  if (msg.global_first != first_ - stencil_ || msg.row_count != stencil_ ||
+      msg.points != num_steps_ + 1)
+    return false;
+  if (update_is_insignificant(msg, /*left=*/true)) return false;
+  for (std::size_t g = 0; g < stencil_; ++g) {
+    auto dst = old_.row(g);
+    const double* src = msg.rows.data() + g * msg.points;
+    std::copy(src, src + msg.points, dst.begin());
+  }
+  return true;
+}
+
+bool WaveformBlock::update_is_insignificant(const BoundaryMessage& msg,
+                                            bool left) const {
+  if (receive_filter_ <= 0.0) return false;
+  for (std::size_t g = 0; g < stencil_; ++g) {
+    auto stored = old_.row(left ? g : stencil_ + count_ + g);
+    const double* incoming = msg.rows.data() + g * msg.points;
+    for (std::size_t t = 0; t < msg.points; ++t)
+      if (std::abs(stored[t] - incoming[t]) > receive_filter_) return false;
+  }
+  return true;
+}
+
+bool WaveformBlock::accept_right_ghosts(const BoundaryMessage& msg) {
+  if (at_right_boundary()) return false;  // no right neighbor exists
+  if (msg.global_first != first_ + count_ || msg.row_count != stencil_ ||
+      msg.points != num_steps_ + 1)
+    return false;
+  if (update_is_insignificant(msg, /*left=*/false)) return false;
+  for (std::size_t g = 0; g < stencil_; ++g) {
+    auto dst = old_.row(stencil_ + count_ + g);
+    const double* src = msg.rows.data() + g * msg.points;
+    std::copy(src, src + msg.points, dst.begin());
+  }
+  return true;
+}
+
+MigrationPayload WaveformBlock::extract_for_left(std::size_t k) {
+  invalidate_fast_path();
+  if (k == 0 || k + stencil_ > count_)
+    throw std::invalid_argument(
+        "extract_for_left: must keep at least stencil components");
+  MigrationPayload payload;
+  payload.direction = MigrationPayload::Direction::kToLeft;
+  payload.row_first = first_;
+  payload.owned_count = k;
+  payload.stencil = stencil_;
+  payload.points = num_steps_ + 1;
+  payload.rows.reserve((k + stencil_) * payload.points);
+  // Owned rows first, then the s dependency rows that stay owned here.
+  for (std::size_t r = 0; r < k + stencil_; ++r) {
+    auto row = old_.row(stencil_ + r);
+    payload.rows.insert(payload.rows.end(), row.begin(), row.end());
+  }
+  // Shrink: the new extended range starts k rows later.
+  old_.extract_rows(0, k);
+  new_.extract_rows(0, k);
+  first_ += k;
+  count_ -= k;
+  return payload;
+}
+
+MigrationPayload WaveformBlock::extract_for_right(std::size_t k) {
+  invalidate_fast_path();
+  if (k == 0 || k + stencil_ > count_)
+    throw std::invalid_argument(
+        "extract_for_right: must keep at least stencil components");
+  MigrationPayload payload;
+  payload.direction = MigrationPayload::Direction::kToRight;
+  payload.row_first = first_ + count_ - k - stencil_;
+  payload.owned_count = k;
+  payload.stencil = stencil_;
+  payload.points = num_steps_ + 1;
+  payload.rows.reserve((k + stencil_) * payload.points);
+  // Dependency rows first (they stay owned here), then the owned rows.
+  for (std::size_t r = count_ - k; r < count_ + stencil_; ++r) {
+    auto row = old_.row(r);  // extended rows [count-k, count+s)
+    payload.rows.insert(payload.rows.end(), row.begin(), row.end());
+  }
+  const std::size_t total = extended_rows();
+  old_.extract_rows(total - k, k);
+  new_.extract_rows(total - k, k);
+  count_ -= k;
+  return payload;
+}
+
+void WaveformBlock::absorb_from_left(const MigrationPayload& payload) {
+  invalidate_fast_path();
+  if (payload.direction != MigrationPayload::Direction::kToRight)
+    throw std::logic_error("absorb_from_left: wrong payload direction");
+  if (payload.points != num_steps_ + 1 || payload.stencil != stencil_)
+    throw std::logic_error("absorb_from_left: shape mismatch");
+  const std::size_t k = payload.owned_count;
+  if (payload.row_first + stencil_ + k != first_)
+    throw std::logic_error("absorb_from_left: payload not adjacent");
+  // Replace our left ghost rows with the payload (which contains fresher
+  // copies of them plus the new owned rows).
+  old_.extract_rows(0, stencil_);
+  new_.extract_rows(0, stencil_);
+  old_.insert_rows(0, k + stencil_, payload.rows);
+  new_.insert_rows(0, k + stencil_, payload.rows);
+  first_ -= k;
+  count_ += k;
+}
+
+void WaveformBlock::absorb_from_right(const MigrationPayload& payload) {
+  invalidate_fast_path();
+  if (payload.direction != MigrationPayload::Direction::kToLeft)
+    throw std::logic_error("absorb_from_right: wrong payload direction");
+  if (payload.points != num_steps_ + 1 || payload.stencil != stencil_)
+    throw std::logic_error("absorb_from_right: shape mismatch");
+  const std::size_t k = payload.owned_count;
+  if (payload.row_first != first_ + count_)
+    throw std::logic_error("absorb_from_right: payload not adjacent");
+  const std::size_t total = extended_rows();
+  old_.extract_rows(total - stencil_, stencil_);
+  new_.extract_rows(total - stencil_, stencil_);
+  old_.insert_rows(old_.components(), k + stencil_, payload.rows);
+  new_.insert_rows(new_.components(), k + stencil_, payload.rows);
+  count_ += k;
+}
+
+double WaveformBlock::interface_gap_with_right(
+    const WaveformBlock& right_neighbor) const {
+  if (right_neighbor.first_ != first_ + count_)
+    throw std::logic_error("interface_gap_with_right: blocks not adjacent");
+  if (right_neighbor.num_steps_ != num_steps_ ||
+      right_neighbor.stencil_ != stencil_)
+    throw std::logic_error("interface_gap_with_right: shape mismatch");
+  double gap = 0.0;
+  for (std::size_t g = 0; g < stencil_; ++g) {
+    // My right-ghost view of the neighbor's first owned components.
+    auto mine = old_.row(stencil_ + count_ + g);
+    auto theirs = right_neighbor.old_.row(right_neighbor.stencil_ + g);
+    for (std::size_t t = 0; t <= num_steps_; ++t)
+      gap = std::max(gap, std::abs(mine[t] - theirs[t]));
+    // The neighbor's left-ghost view of my last owned components.
+    auto their_ghost = right_neighbor.old_.row(g);
+    auto my_boundary = old_.row(count_ + g);
+    for (std::size_t t = 0; t <= num_steps_; ++t)
+      gap = std::max(gap, std::abs(their_ghost[t] - my_boundary[t]));
+  }
+  return gap;
+}
+
+void WaveformBlock::copy_local_into(Trajectory& global) const {
+  if (global.num_steps() != num_steps_)
+    throw std::invalid_argument("copy_local_into: step count mismatch");
+  for (std::size_t r = 0; r < count_; ++r) {
+    auto src = old_.row(stencil_ + r);
+    auto dst = global.row(first_ + r);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+}
+
+std::span<const double> WaveformBlock::owned_row(
+    std::size_t local_index) const {
+  if (local_index >= count_)
+    throw std::out_of_range("WaveformBlock::owned_row");
+  return old_.row(stencil_ + local_index);
+}
+
+}  // namespace aiac::ode

@@ -1,0 +1,94 @@
+// In-process message-passing primitives for the threaded (PM²-like)
+// backend. Two delivery disciplines match the paper's two message kinds:
+//
+//  * SlotBox — a one-slot "latest value wins" box for boundary data. The
+//    paper's mutual exclusion ("if there is no left communication in
+//    progress") exists to avoid queueing redundant boundary updates; in
+//    shared memory the equivalent is overwriting the unread slot.
+//  * Mailbox — a FIFO queue for load-balancing payloads, which must all be
+//    absorbed, in order.
+//
+// Both notify an optional shared Notifier on push so the owning thread can
+// sleep on "anything arrived".
+#pragma once
+
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "runtime/notifier.hpp"
+
+namespace aiac::runtime {
+
+template <typename T>
+class Mailbox {
+ public:
+  explicit Mailbox(Notifier* notifier = nullptr) : notifier_(notifier) {}
+
+  void push(T value) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.push_back(std::move(value));
+    }
+    if (notifier_) notifier_->notify();
+  }
+
+  std::optional<T> try_pop() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) return std::nullopt;
+    T value = std::move(queue_.front());
+    queue_.pop_front();
+    return value;
+  }
+
+  bool empty() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.empty();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::deque<T> queue_;
+  Notifier* notifier_;
+};
+
+template <typename T>
+class SlotBox {
+ public:
+  explicit SlotBox(Notifier* notifier = nullptr) : notifier_(notifier) {}
+
+  /// Overwrites any unread value ("latest data wins").
+  void put(T value) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      slot_ = std::move(value);
+    }
+    if (notifier_) notifier_->notify();
+  }
+
+  /// Takes the value, leaving the slot empty.
+  std::optional<T> take() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::optional<T> value = std::move(slot_);
+    slot_.reset();
+    return value;
+  }
+
+  bool has_value() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return slot_.has_value();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::optional<T> slot_;
+  Notifier* notifier_;
+};
+
+}  // namespace aiac::runtime

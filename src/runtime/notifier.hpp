@@ -1,0 +1,38 @@
+// A wakeup hub shared by all of one processor's mailboxes.
+//
+// PM² delivers messages through communication threads that mutate shared
+// state; the computing thread occasionally blocks until "something
+// happened". A Notifier is that rendezvous: mailboxes notify it on every
+// push, and the owner waits on a predicate over its inboxes.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+namespace aiac::runtime {
+
+class Notifier {
+ public:
+  /// Wakes every thread currently blocked in wait_for().
+  void notify() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++version_;
+    cv_.notify_all();
+  }
+
+  /// Blocks until `predicate()` is true or `timeout` elapses; re-evaluates
+  /// after every notify(). Returns the final predicate value.
+  template <typename Predicate>
+  bool wait_for(std::chrono::milliseconds timeout, Predicate predicate) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    return cv_.wait_for(lock, timeout, [&] { return predicate(); });
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace aiac::runtime

@@ -1,0 +1,38 @@
+// RAII thread group: spawns one thread per virtual processor and joins
+// them on destruction (exceptions included), per the Core Guidelines'
+// "no detached threads" rule.
+#pragma once
+
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace aiac::runtime {
+
+class ThreadTeam {
+ public:
+  ThreadTeam() = default;
+  ThreadTeam(const ThreadTeam&) = delete;
+  ThreadTeam& operator=(const ThreadTeam&) = delete;
+  ~ThreadTeam() { join(); }
+
+  /// Spawns `count` threads running body(rank).
+  void spawn(std::size_t count, const std::function<void(std::size_t)>& body) {
+    threads_.reserve(threads_.size() + count);
+    for (std::size_t rank = 0; rank < count; ++rank)
+      threads_.emplace_back(body, rank);
+  }
+
+  void join() {
+    for (auto& t : threads_)
+      if (t.joinable()) t.join();
+    threads_.clear();
+  }
+
+  std::size_t size() const noexcept { return threads_.size(); }
+
+ private:
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace aiac::runtime

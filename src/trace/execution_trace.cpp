@@ -1,0 +1,112 @@
+#include "trace/execution_trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <stdexcept>
+
+namespace aiac::trace {
+
+void ExecutionTrace::record_iteration(IterationRecord record) {
+  if (record.end < record.start)
+    throw std::invalid_argument("record_iteration: end before start");
+  processors_ = std::max(processors_, record.rank + 1);
+  iterations_.push_back(record);
+}
+
+void ExecutionTrace::record_message(MessageRecord record) {
+  if (record.receive_time < record.send_time)
+    throw std::invalid_argument("record_message: receive before send");
+  processors_ = std::max({processors_, record.src + 1, record.dst + 1});
+  messages_.push_back(record);
+}
+
+void ExecutionTrace::record_migration(MigrationRecord record) {
+  processors_ = std::max({processors_, record.src + 1, record.dst + 1});
+  migrations_.push_back(record);
+}
+
+double ExecutionTrace::span() const noexcept {
+  double last = 0.0;
+  for (const auto& it : iterations_) last = std::max(last, it.end);
+  return last;
+}
+
+double ExecutionTrace::busy_time(std::size_t rank) const {
+  double busy = 0.0;
+  for (const auto& it : iterations_)
+    if (it.rank == rank) busy += it.end - it.start;
+  return busy;
+}
+
+double ExecutionTrace::idle_time(std::size_t rank) const {
+  return std::max(0.0, span() - busy_time(rank));
+}
+
+double ExecutionTrace::idle_fraction(std::size_t rank) const {
+  const double total = span();
+  if (total <= 0.0) return 0.0;
+  return idle_time(rank) / total;
+}
+
+double ExecutionTrace::mean_idle_fraction() const {
+  if (processors_ == 0) return 0.0;
+  double sum = 0.0;
+  for (std::size_t rank = 0; rank < processors_; ++rank)
+    sum += idle_fraction(rank);
+  return sum / static_cast<double>(processors_);
+}
+
+std::size_t ExecutionTrace::iteration_count(std::size_t rank) const {
+  std::size_t count = 0;
+  for (const auto& it : iterations_)
+    if (it.rank == rank) ++count;
+  return count;
+}
+
+void ExecutionTrace::write_iterations_csv(std::ostream& out) const {
+  out << "rank,iteration,start,end,work,residual,components\n";
+  for (const auto& it : iterations_)
+    out << it.rank << ',' << it.iteration << ',' << it.start << ',' << it.end
+        << ',' << it.work << ',' << it.residual << ',' << it.components
+        << '\n';
+}
+
+void ExecutionTrace::write_messages_csv(std::ostream& out) const {
+  out << "src,dst,send_time,receive_time,bytes,kind\n";
+  for (const auto& m : messages_)
+    out << m.src << ',' << m.dst << ',' << m.send_time << ','
+        << m.receive_time << ',' << m.bytes << ',' << to_string(m.kind)
+        << '\n';
+}
+
+void ExecutionTrace::write_ascii_gantt(std::ostream& out,
+                                       std::size_t width) const {
+  const double total = span();
+  if (total <= 0.0 || width == 0) return;
+  for (std::size_t rank = 0; rank < processors_; ++rank) {
+    std::string line(width, '.');
+    for (const auto& it : iterations_) {
+      if (it.rank != rank) continue;
+      auto clamp_col = [&](double t) {
+        return std::min(width - 1, static_cast<std::size_t>(
+                                       t / total * static_cast<double>(width)));
+      };
+      const std::size_t c0 = clamp_col(it.start);
+      const std::size_t c1 = clamp_col(it.end);
+      for (std::size_t c = c0; c <= c1; ++c) line[c] = '#';
+    }
+    out << 'P' << rank << (rank < 10 ? " " : "") << ' ' << line << '\n';
+  }
+}
+
+std::string to_string(MessageKind kind) {
+  switch (kind) {
+    case MessageKind::kBoundaryData: return "data";
+    case MessageKind::kLoadBalance: return "lb";
+    case MessageKind::kControl: return "control";
+  }
+  return "?";
+}
+
+}  // namespace aiac::trace

@@ -1,0 +1,56 @@
+#include "util/log.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <iostream>
+#include <stdexcept>
+
+namespace aiac::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_sink_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel log_level() noexcept {
+  return g_level.load(std::memory_order_relaxed);
+}
+
+LogLevel parse_log_level(const std::string& name) {
+  std::string v = name;
+  std::transform(v.begin(), v.end(), v.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (v == "trace") return LogLevel::kTrace;
+  if (v == "debug") return LogLevel::kDebug;
+  if (v == "info") return LogLevel::kInfo;
+  if (v == "warn" || v == "warning") return LogLevel::kWarn;
+  if (v == "error") return LogLevel::kError;
+  if (v == "off" || v == "none") return LogLevel::kOff;
+  throw std::invalid_argument("unknown log level: " + name);
+}
+
+void log_message(LogLevel level, const std::string& where,
+                 const std::string& message) {
+  if (level < log_level()) return;
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  std::cerr << '[' << level_name(level) << "] (" << where << ") " << message
+            << '\n';
+}
+
+}  // namespace aiac::util

@@ -1,0 +1,61 @@
+// Leveled logging. Off by default in tests/benches; examples flip it on to
+// narrate the iterative process (iterations, balancing decisions,
+// convergence detection events).
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace aiac::util {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Parses "trace"/"debug"/"info"/"warn"/"error"/"off" (case-insensitive).
+/// Throws std::invalid_argument for anything else.
+LogLevel parse_log_level(const std::string& name);
+
+/// Thread-safe sink to stderr. `where` is a short component tag
+/// (e.g. "lb", "engine", "des").
+void log_message(LogLevel level, const std::string& where,
+                 const std::string& message);
+
+namespace detail {
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string where)
+      : level_(level), where_(std::move(where)) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_message(level_, where_, stream_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string where_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace aiac::util
+
+// Stream-style macros; the stream expression is not evaluated when the
+// level is filtered out.
+#define AIAC_LOG(level, where)                                   \
+  if (::aiac::util::log_level() > (level)) {                     \
+  } else                                                         \
+    ::aiac::util::detail::LogLine((level), (where))
+
+#define AIAC_TRACE(where) AIAC_LOG(::aiac::util::LogLevel::kTrace, where)
+#define AIAC_DEBUG(where) AIAC_LOG(::aiac::util::LogLevel::kDebug, where)
+#define AIAC_INFO(where) AIAC_LOG(::aiac::util::LogLevel::kInfo, where)
+#define AIAC_WARN(where) AIAC_LOG(::aiac::util::LogLevel::kWarn, where)
+#define AIAC_ERROR(where) AIAC_LOG(::aiac::util::LogLevel::kError, where)

@@ -1,0 +1,109 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace aiac::util {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t hash_name(std::string_view name) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept : seed_(seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+Rng::result_type Rng::next() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() noexcept {
+  // 53 random bits -> double in [0,1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  const std::uint64_t range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<std::int64_t>(next());  // full range
+  // Debiased modulo (Lemire-style rejection kept simple for determinism).
+  const std::uint64_t threshold = (~range + 1) % range;  // 2^64 mod range
+  std::uint64_t r;
+  do {
+    r = next();
+  } while (r < threshold);
+  return lo + static_cast<std::int64_t>(r % range);
+}
+
+double Rng::normal() noexcept {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = radius * std::sin(angle);
+  has_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+  return mean + stddev * normal();
+}
+
+double Rng::exponential(double rate) noexcept {
+  double u;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  return -std::log(u) / rate;
+}
+
+bool Rng::bernoulli(double p) noexcept { return uniform() < p; }
+
+Rng Rng::split(std::string_view name) const noexcept {
+  return split(hash_name(name));
+}
+
+Rng Rng::split(std::uint64_t index) const noexcept {
+  std::uint64_t sm = seed_ ^ (0x5851f42d4c957f2dULL * (index + 1));
+  const std::uint64_t child = splitmix64(sm);
+  return Rng(child);
+}
+
+}  // namespace aiac::util

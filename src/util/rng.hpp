@@ -1,0 +1,74 @@
+// Deterministic random number generation for reproducible experiments.
+//
+// Every stochastic element of the simulation (network jitter, background
+// load traces, initial perturbations) draws from an explicitly seeded
+// stream so that a whole experiment is a pure function of its seed.
+// Streams are split with SplitMix64 so that independently named substreams
+// are statistically independent and insensitive to the order in which
+// other streams consume numbers.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace aiac::util {
+
+/// xoshiro256** pseudo-random generator (Blackman & Vigna).
+///
+/// Satisfies std::uniform_random_bit_generator so it can be plugged into
+/// <random> distributions, but the convenience members below are preferred
+/// because their results are identical across standard library
+/// implementations (libstdc++/libc++ disagree on distribution algorithms).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the state by running SplitMix64 on `seed`.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  /// Next raw 64-bit value.
+  result_type operator()() noexcept { return next(); }
+  result_type next() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+  /// Standard normal via Box-Muller (deterministic across platforms).
+  double normal() noexcept;
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev) noexcept;
+  /// Exponential with the given rate (lambda > 0).
+  double exponential(double rate) noexcept;
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p) noexcept;
+
+  /// Derives an independent substream. The same (parent seed, name) pair
+  /// always yields the same stream, regardless of how much the parent has
+  /// been used: splitting hashes the *initial* seed, not the current state.
+  Rng split(std::string_view name) const noexcept;
+  /// Derives an independent substream indexed by an integer.
+  Rng split(std::uint64_t index) const noexcept;
+
+  /// The seed this stream was constructed with.
+  std::uint64_t seed() const noexcept { return seed_; }
+
+ private:
+  std::uint64_t seed_;
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+/// SplitMix64 single step; used for seeding and hashing.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// FNV-1a 64-bit hash of a string, for stream naming.
+std::uint64_t hash_name(std::string_view name) noexcept;
+
+}  // namespace aiac::util

@@ -1,0 +1,94 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace aiac::util {
+
+void Table::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(precision);
+  out << v;
+  return out.str();
+}
+
+namespace {
+std::vector<std::size_t> column_widths(
+    const std::vector<std::string>& header,
+    const std::vector<std::vector<std::string>>& rows) {
+  std::size_t ncols = header.size();
+  for (const auto& r : rows) ncols = std::max(ncols, r.size());
+  std::vector<std::size_t> w(ncols, 0);
+  for (std::size_t c = 0; c < header.size(); ++c)
+    w[c] = std::max(w[c], header[c].size());
+  for (const auto& r : rows)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      w[c] = std::max(w[c], r[c].size());
+  return w;
+}
+
+void print_separator(std::ostream& out, const std::vector<std::size_t>& w) {
+  out << '+';
+  for (std::size_t width : w) out << std::string(width + 2, '-') << '+';
+  out << '\n';
+}
+
+void print_row(std::ostream& out, const std::vector<std::size_t>& w,
+               const std::vector<std::string>& row) {
+  out << '|';
+  for (std::size_t c = 0; c < w.size(); ++c) {
+    const std::string& cell = c < row.size() ? row[c] : std::string{};
+    out << ' ' << cell << std::string(w[c] - cell.size() + 1, ' ') << '|';
+  }
+  out << '\n';
+}
+
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string quoted = "\"";
+  for (char c : field) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+}  // namespace
+
+void Table::print(std::ostream& out) const {
+  if (!title_.empty()) out << title_ << '\n';
+  const auto w = column_widths(header_, rows_);
+  if (w.empty()) return;
+  print_separator(out, w);
+  if (!header_.empty()) {
+    print_row(out, w, header_);
+    print_separator(out, w);
+  }
+  for (const auto& r : rows_) print_row(out, w, r);
+  print_separator(out, w);
+}
+
+void Table::write_csv(std::ostream& out) const {
+  auto emit = [&out](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out << ',';
+      out << csv_escape(row[c]);
+    }
+    out << '\n';
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& r : rows_) emit(r);
+}
+
+}  // namespace aiac::util

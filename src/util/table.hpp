@@ -1,0 +1,43 @@
+// ASCII table and CSV emission for benchmark harnesses. The bench binaries
+// print the same rows/series the paper's tables and figures report; this
+// keeps their formatting uniform and makes the output machine-readable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace aiac::util {
+
+/// Column-aligned ASCII table with an optional title, plus CSV export.
+///
+/// Usage:
+///   Table t{"Table 1: heterogeneous grid"};
+///   t.set_header({"version", "time (s)", "ratio"});
+///   t.add_row({"non-balanced", "515.3", ""});
+///   t.print(std::cout);
+class Table {
+ public:
+  Table() = default;
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+  /// Number of data rows (header excluded).
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Pretty-prints with box-drawing separators.
+  void print(std::ostream& out) const;
+  /// Emits RFC-4180-ish CSV (quotes fields containing commas/quotes).
+  void write_csv(std::ostream& out) const;
+
+  /// Convenience numeric formatting with fixed precision.
+  static std::string num(double v, int precision = 1);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace aiac::util

@@ -1,0 +1,175 @@
+// Tests for the token-ring convergence detection and the memory-pressure
+// machine model.
+#include <gtest/gtest.h>
+
+#include "core/sim_engine.hpp"
+#include "grid/grid.hpp"
+#include "grid/machine.hpp"
+#include "ode/brusselator.hpp"
+#include "ode/waveform.hpp"
+
+namespace {
+
+using namespace aiac;
+
+ode::Brusselator small_system(std::size_t n = 24) {
+  ode::Brusselator::Params p;
+  p.grid_points = n;
+  return ode::Brusselator(p);
+}
+
+core::EngineConfig base_config() {
+  core::EngineConfig config;
+  config.num_steps = 40;
+  config.t_end = 1.0;
+  config.tolerance = 1e-8;
+  return config;
+}
+
+ode::Trajectory reference(const ode::OdeSystem& system,
+                          const core::EngineConfig& config) {
+  ode::WaveformOptions opts;
+  opts.blocks = 1;
+  opts.num_steps = config.num_steps;
+  opts.t_end = config.t_end;
+  opts.tolerance = config.tolerance;
+  return ode::waveform_relaxation(system, opts).trajectory;
+}
+
+class TokenRingSchemes : public ::testing::TestWithParam<core::Scheme> {};
+
+TEST_P(TokenRingSchemes, ConvergesToCorrectSolution) {
+  const auto system = small_system();
+  auto config = base_config();
+  config.scheme = GetParam();
+  config.detection = core::DetectionMode::kTokenRing;
+  config.persistence = 3;
+  grid::HomogeneousClusterParams params;
+  params.processes = 4;
+  params.multi_user = false;
+  auto cluster = grid::make_homogeneous_cluster(params);
+  const auto result = core::run_simulated(system, *cluster, config);
+  ASSERT_TRUE(result.converged);
+  EXPECT_GT(result.control_messages, 4u);  // token laps + halt broadcast
+  EXPECT_LT(result.solution.max_abs_diff(reference(system, config)), 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, TokenRingSchemes,
+                         ::testing::Values(core::Scheme::kSISC,
+                                           core::Scheme::kAIAC),
+                         [](const auto& param_info) {
+                           return core::to_string(param_info.param);
+                         });
+
+TEST(TokenRing, SingleProcessorHaltsAfterOneVisit) {
+  const auto system = small_system(10);
+  auto config = base_config();
+  config.detection = core::DetectionMode::kTokenRing;
+  grid::HomogeneousClusterParams params;
+  params.processes = 1;
+  params.multi_user = false;
+  auto cluster = grid::make_homogeneous_cluster(params);
+  const auto result = core::run_simulated(system, *cluster, config);
+  EXPECT_TRUE(result.converged);
+}
+
+TEST(TokenRing, TakesLongerThanOracle) {
+  const auto system = small_system();
+  auto config = base_config();
+  grid::HomogeneousClusterParams params;
+  params.processes = 4;
+  params.multi_user = false;
+  auto g1 = grid::make_homogeneous_cluster(params);
+  const auto oracle = core::run_simulated(system, *g1, config);
+  config.detection = core::DetectionMode::kTokenRing;
+  auto g2 = grid::make_homogeneous_cluster(params);
+  const auto token = core::run_simulated(system, *g2, config);
+  ASSERT_TRUE(oracle.converged);
+  ASSERT_TRUE(token.converged);
+  EXPECT_GE(token.execution_time, oracle.execution_time);
+}
+
+TEST(TokenRing, WithLoadBalancingStillConverges) {
+  const auto system = small_system(32);
+  auto config = base_config();
+  config.scheme = core::Scheme::kAIAC;
+  config.detection = core::DetectionMode::kTokenRing;
+  config.load_balancing = true;
+  config.balancer.trigger_period = 3;
+  grid::HeterogeneousGridParams params;
+  params.machines = 4;
+  params.multi_user = false;
+  params.seed = 9;
+  auto grid_model = grid::make_heterogeneous_grid(params);
+  const auto result = core::run_simulated(system, *grid_model, config);
+  ASSERT_TRUE(result.converged);
+  EXPECT_LT(result.solution.max_abs_diff(reference(system, config)), 1e-4);
+}
+
+TEST(MemoryPressure, SlowsOnlyBeyondCapacity) {
+  grid::Machine machine(
+      "m", 1000.0, std::make_unique<grid::ConstantAvailability>(1.0),
+      grid::MemoryPressure{.capacity = 100.0, .penalty = 8.0});
+  EXPECT_DOUBLE_EQ(machine.effective_speed(0.0, 50.0), 1000.0);
+  EXPECT_DOUBLE_EQ(machine.effective_speed(0.0, 100.0), 1000.0);
+  // 2x over capacity: slowdown 1 + 8*1 = 9.
+  EXPECT_NEAR(machine.effective_speed(0.0, 200.0), 1000.0 / 9.0, 1e-9);
+  EXPECT_GT(machine.compute_duration(1000.0, 0.0, 200.0),
+            machine.compute_duration(1000.0, 0.0, 10.0));
+}
+
+TEST(MemoryPressure, DisabledByDefault) {
+  grid::Machine machine("m", 1000.0,
+                        std::make_unique<grid::ConstantAvailability>(1.0));
+  EXPECT_DOUBLE_EQ(machine.effective_speed(0.0, 1e9), 1000.0);
+}
+
+std::unique_ptr<grid::Grid> cluster_with_one_small_node(
+    std::size_t nodes, double small_capacity) {
+  // Hand-built grid: identical speeds, but node 1 pages beyond
+  // `small_capacity` components while the others have ample memory.
+  std::vector<std::unique_ptr<grid::Machine>> machines;
+  for (std::size_t i = 0; i < nodes; ++i) {
+    grid::MemoryPressure memory;
+    if (i == 1)
+      memory = grid::MemoryPressure{.capacity = small_capacity,
+                                    .penalty = 20.0};
+    machines.push_back(std::make_unique<grid::Machine>(
+        "node" + std::to_string(i), 1000.0,
+        std::make_unique<grid::ConstantAvailability>(1.0), memory));
+  }
+  grid::NetworkModel net(std::vector<std::size_t>(nodes, 0),
+                         grid::fast_ethernet_lan(),
+                         grid::fast_ethernet_lan());
+  std::vector<std::size_t> mapping(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) mapping[i] = i;
+  return std::make_unique<grid::Grid>(std::move(machines), std::move(net),
+                                      std::move(mapping), util::Rng(5));
+}
+
+TEST(MemoryPressure, LoadBalancingRescuesAnOvercommittedNode) {
+  // One tiny-memory machine in the chain: the even partition pushes it
+  // into paging (24 components vs capacity 15); shedding components
+  // restores its speed, so balancing must win clearly.
+  const auto system = small_system(48);
+  auto config = base_config();
+  config.scheme = core::Scheme::kAIAC;
+  config.balancer.trigger_period = 2;
+  config.balancer.threshold_ratio = 1.5;
+  config.balancer.min_components = 3;
+
+  auto g_plain = cluster_with_one_small_node(4, 15.0);
+  const auto without = core::run_simulated(system, *g_plain, config);
+  ASSERT_TRUE(without.converged);
+
+  config.load_balancing = true;
+  auto g_lb = cluster_with_one_small_node(4, 15.0);
+  const auto with = core::run_simulated(system, *g_lb, config);
+  ASSERT_TRUE(with.converged);
+  EXPECT_LT(with.execution_time, without.execution_time);
+  // The paging node must have shed components (it cannot always reach its
+  // capacity before the run converges, but it must have moved).
+  EXPECT_LT(with.final_components[1], 24u);
+}
+
+}  // namespace

@@ -1,0 +1,173 @@
+// Tests for the grid substrate: availability traces, machines, network
+// delays, and the cluster/grid builders.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "grid/grid.hpp"
+#include "grid/machine.hpp"
+#include "grid/network.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace aiac::grid;
+using aiac::util::Rng;
+
+TEST(Availability, ConstantModel) {
+  ConstantAvailability model(0.75);
+  EXPECT_DOUBLE_EQ(model.availability(0.0), 0.75);
+  EXPECT_DOUBLE_EQ(model.availability(1e6), 0.75);
+  EXPECT_THROW(ConstantAvailability{0.0}, std::invalid_argument);
+  EXPECT_THROW(ConstantAvailability{1.5}, std::invalid_argument);
+}
+
+TEST(Availability, OnOffIsDeterministicAndBounded) {
+  OnOffAvailability::Params params;
+  params.loaded_fraction = 0.4;
+  OnOffAvailability a(params, Rng(1));
+  OnOffAvailability b(params, Rng(1));
+  std::set<double> values;
+  for (double t = 0.0; t < 2000.0; t += 13.7) {
+    const double va = a.availability(t);
+    EXPECT_DOUBLE_EQ(va, b.availability(t));
+    EXPECT_TRUE(va == 1.0 || va == 0.4);
+    values.insert(va);
+  }
+  // Both regimes must actually occur over a long horizon.
+  EXPECT_EQ(values.size(), 2u);
+}
+
+TEST(Availability, QueriesAtArbitraryTimesAreConsistent) {
+  OnOffAvailability model({}, Rng(2));
+  const double late = model.availability(5000.0);
+  const double early = model.availability(10.0);  // backwards query
+  EXPECT_DOUBLE_EQ(model.availability(5000.0), late);
+  EXPECT_DOUBLE_EQ(model.availability(10.0), early);
+}
+
+TEST(Availability, RandomWalkStaysInBounds) {
+  RandomWalkAvailability::Params params;
+  params.min = 0.3;
+  params.max = 0.9;
+  RandomWalkAvailability model(params, Rng(3));
+  for (double t = 0.0; t < 5000.0; t += 17.0) {
+    const double v = model.availability(t);
+    EXPECT_GE(v, 0.3);
+    EXPECT_LE(v, 0.9);
+  }
+}
+
+TEST(MachineTest, ComputeDurationScalesWithSpeedAndLoad) {
+  Machine fast("fast", 2000.0, std::make_unique<ConstantAvailability>(1.0));
+  Machine slow("slow", 500.0, std::make_unique<ConstantAvailability>(0.5));
+  EXPECT_DOUBLE_EQ(fast.compute_duration(1000.0, 0.0), 0.5);
+  EXPECT_DOUBLE_EQ(slow.compute_duration(1000.0, 0.0), 4.0);
+  EXPECT_DOUBLE_EQ(fast.compute_duration(0.0, 0.0), 0.0);
+  EXPECT_THROW(fast.compute_duration(-1.0, 0.0), std::invalid_argument);
+}
+
+TEST(NetworkTest, IntraVsInterSiteParameters) {
+  NetworkModel net({0, 0, 1}, fast_ethernet_lan(), campus_wan());
+  EXPECT_DOUBLE_EQ(net.link(0, 1).latency, fast_ethernet_lan().latency);
+  EXPECT_DOUBLE_EQ(net.link(0, 2).latency, campus_wan().latency);
+  Rng rng(4);
+  EXPECT_DOUBLE_EQ(net.transfer_time(1, 1, 1 << 20, 0.0, rng), 0.0);
+  const double lan = net.transfer_time(0, 1, 100000, 0.0, rng);
+  const double wan = net.transfer_time(0, 2, 100000, 0.0, rng);
+  EXPECT_GT(wan, lan);
+}
+
+TEST(NetworkTest, PairOverrideWins) {
+  LinkParams special;
+  special.latency = 1.0;
+  special.bandwidth = 1.0;
+  special.jitter_sigma = 0.0;
+  NetworkModel net({0, 0}, fast_ethernet_lan(), campus_wan());
+  net.set_pair_override(0, 1, special);
+  Rng rng(5);
+  EXPECT_NEAR(net.transfer_time(0, 1, 10, 0.0, rng), 11.0, 1e-12);
+  // The reverse direction keeps the default link.
+  EXPECT_LT(net.transfer_time(1, 0, 10, 0.0, rng), 1.0);
+}
+
+TEST(NetworkTest, JitterIsMultiplicativeAndReproducible) {
+  LinkParams p;
+  p.latency = 0.01;
+  p.bandwidth = 1e6;
+  p.jitter_sigma = 0.5;
+  NetworkModel net({0, 1}, p, p);
+  Rng a(6), b(6);
+  for (int i = 0; i < 20; ++i)
+    EXPECT_DOUBLE_EQ(net.transfer_time(0, 1, 1000, 0.0, a),
+                     net.transfer_time(0, 1, 1000, 0.0, b));
+}
+
+TEST(HomogeneousCluster, BuildsOneMachinePerProcess) {
+  HomogeneousClusterParams params;
+  params.processes = 6;
+  params.multi_user = false;
+  auto grid = make_homogeneous_cluster(params);
+  EXPECT_EQ(grid->process_count(), 6u);
+  EXPECT_EQ(grid->machine_count(), 6u);
+  for (std::size_t r = 0; r < 6; ++r) {
+    EXPECT_EQ(grid->site_of_rank(r), 0u);
+    EXPECT_DOUBLE_EQ(grid->machine_of(r).peak_speed(), params.machine_speed);
+  }
+  EXPECT_DOUBLE_EQ(grid->message_delay(2, 2, 1000, 0.0), 0.0);
+  EXPECT_GT(grid->message_delay(0, 1, 1000, 0.0), 0.0);
+}
+
+TEST(HeterogeneousGrid, SitesSpeedsAndIrregularMapping) {
+  HeterogeneousGridParams params;
+  params.machines = 15;
+  params.sites = 3;
+  params.multi_user = false;
+  auto grid = make_heterogeneous_grid(params);
+  EXPECT_EQ(grid->process_count(), 15u);
+
+  // Speeds span the requested range, extremes included.
+  double lo = 1e30, hi = 0.0;
+  for (std::size_t r = 0; r < 15; ++r) {
+    lo = std::min(lo, grid->machine_of(r).peak_speed());
+    hi = std::max(hi, grid->machine_of(r).peak_speed());
+  }
+  EXPECT_DOUBLE_EQ(lo, params.base_speed);
+  EXPECT_DOUBLE_EQ(hi, params.base_speed * params.speed_spread);
+
+  // Irregular logical organization: consecutive ranks sit on different
+  // sites wherever possible.
+  std::size_t cross_site = 0;
+  for (std::size_t r = 0; r + 1 < 15; ++r)
+    cross_site += grid->site_of_rank(r) != grid->site_of_rank(r + 1);
+  EXPECT_GE(cross_site, 12u);
+
+  // Every machine is used exactly once.
+  std::set<std::size_t> used;
+  for (std::size_t r = 0; r < 15; ++r) used.insert(grid->machine_index_of(r));
+  EXPECT_EQ(used.size(), 15u);
+}
+
+TEST(HeterogeneousGrid, RegularMappingKeepsSitesContiguous) {
+  HeterogeneousGridParams params;
+  params.machines = 9;
+  params.sites = 3;
+  params.irregular_mapping = false;
+  params.multi_user = false;
+  auto grid = make_heterogeneous_grid(params);
+  std::size_t cross_site = 0;
+  for (std::size_t r = 0; r + 1 < 9; ++r)
+    cross_site += grid->site_of_rank(r) != grid->site_of_rank(r + 1);
+  EXPECT_EQ(cross_site, 2u);  // only at the two site boundaries
+}
+
+TEST(GridBuilders, RejectDegenerateParams) {
+  HomogeneousClusterParams hp;
+  hp.processes = 0;
+  EXPECT_THROW(make_homogeneous_cluster(hp), std::invalid_argument);
+  HeterogeneousGridParams gp;
+  gp.speed_spread = 0.5;
+  EXPECT_THROW(make_heterogeneous_grid(gp), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,151 @@
+// Coverage for the smaller utilities: logging, trajectory manipulation,
+// window extraction, CSV escaping, and boundary-message byte accounting.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ode/brusselator.hpp"
+#include "ode/trajectory.hpp"
+#include "ode/waveform_block.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace aiac;
+
+TEST(Log, LevelParsingRoundTrip) {
+  using util::LogLevel;
+  EXPECT_EQ(util::parse_log_level("trace"), LogLevel::kTrace);
+  EXPECT_EQ(util::parse_log_level("DEBUG"), LogLevel::kDebug);
+  EXPECT_EQ(util::parse_log_level("Info"), LogLevel::kInfo);
+  EXPECT_EQ(util::parse_log_level("warning"), LogLevel::kWarn);
+  EXPECT_EQ(util::parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(util::parse_log_level("off"), LogLevel::kOff);
+  EXPECT_THROW(util::parse_log_level("loud"), std::invalid_argument);
+}
+
+TEST(Log, ThresholdFilters) {
+  const auto previous = util::log_level();
+  util::set_log_level(util::LogLevel::kError);
+  EXPECT_EQ(util::log_level(), util::LogLevel::kError);
+  // Macros with filtered levels must not evaluate their stream expression.
+  int evaluations = 0;
+  AIAC_DEBUG("test") << [&] {
+    ++evaluations;
+    return "expensive";
+  }();
+  EXPECT_EQ(evaluations, 0);
+  util::set_log_level(previous);
+}
+
+TEST(TrajectoryTest, ColumnRoundTrip) {
+  ode::Trajectory traj(3, 4);
+  std::vector<double> state = {1.0, 2.0, 3.0};
+  traj.set_column(2, state);
+  const auto back = traj.column(2);
+  EXPECT_EQ(back, state);
+  EXPECT_THROW(traj.column(5), std::out_of_range);
+  EXPECT_THROW(traj.set_column(0, std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+TEST(TrajectoryTest, ExtractInsertRoundTrip) {
+  ode::Trajectory traj(4, 2);
+  for (std::size_t c = 0; c < 4; ++c)
+    for (std::size_t s = 0; s <= 2; ++s)
+      traj.at(c, s) = static_cast<double>(10 * c + s);
+  const auto packed = traj.extract_rows(1, 2);
+  EXPECT_EQ(traj.components(), 2u);
+  EXPECT_EQ(packed.size(), 2u * 3u);
+  traj.insert_rows(1, 2, packed);
+  EXPECT_EQ(traj.components(), 4u);
+  for (std::size_t c = 0; c < 4; ++c)
+    for (std::size_t s = 0; s <= 2; ++s)
+      EXPECT_DOUBLE_EQ(traj.at(c, s), static_cast<double>(10 * c + s));
+}
+
+TEST(TrajectoryTest, MaxAbsDiffShapeChecks) {
+  ode::Trajectory a(2, 3), b(3, 3);
+  EXPECT_THROW(a.max_abs_diff(b), std::invalid_argument);
+  ode::Trajectory c(2, 3);
+  c.at(1, 2) = 5.0;
+  EXPECT_DOUBLE_EQ(a.max_abs_diff(c), 5.0);
+  EXPECT_THROW(a.max_abs_diff_rows(c, 1, 2), std::out_of_range);
+}
+
+TEST(OdeSystemWindow, ExtractZeroFillsOutOfRange) {
+  ode::Brusselator::Params p;
+  p.grid_points = 3;
+  const ode::Brusselator sys(p);  // dimension 6, stencil 2
+  std::vector<double> y = {1, 2, 3, 4, 5, 6};
+  std::vector<double> window(5);
+  sys.extract_window(y, 0, window);
+  EXPECT_DOUBLE_EQ(window[0], 0.0);  // j-2 out of range
+  EXPECT_DOUBLE_EQ(window[1], 0.0);  // j-1 out of range
+  EXPECT_DOUBLE_EQ(window[2], 1.0);
+  EXPECT_DOUBLE_EQ(window[3], 2.0);
+  EXPECT_DOUBLE_EQ(window[4], 3.0);
+  sys.extract_window(y, 5, window);
+  EXPECT_DOUBLE_EQ(window[2], 6.0);
+  EXPECT_DOUBLE_EQ(window[3], 0.0);
+  EXPECT_DOUBLE_EQ(window[4], 0.0);
+  EXPECT_THROW(sys.extract_window(y, 0, std::span<double>(window.data(), 3)),
+               std::invalid_argument);
+}
+
+TEST(BoundaryMessageTest, ByteSizeScalesWithRows) {
+  ode::Brusselator::Params p;
+  p.grid_points = 8;
+  const ode::Brusselator sys(p);
+  ode::WaveformBlockConfig config;
+  config.first = 4;
+  config.count = 8;
+  config.num_steps = 10;
+  ode::WaveformBlock block(sys, config);
+  const auto msg = block.boundary_for_left();
+  EXPECT_EQ(msg.rows.size(), 2u * 11u);
+  EXPECT_GE(msg.byte_size(), msg.rows.size() * sizeof(double));
+}
+
+TEST(MigrationPayloadTest, ByteSizeAndRowCount) {
+  ode::Brusselator::Params p;
+  p.grid_points = 10;
+  const ode::Brusselator sys(p);
+  ode::WaveformBlockConfig config;
+  config.first = 0;
+  config.count = 20;
+  config.num_steps = 5;
+  ode::WaveformBlock block(sys, config);
+  auto payload = block.extract_for_right(4);
+  EXPECT_EQ(payload.row_count(), 6u);  // 4 owned + 2 dependency rows
+  EXPECT_EQ(payload.rows.size(), 6u * 6u);
+  EXPECT_GE(payload.byte_size(), payload.rows.size() * sizeof(double));
+}
+
+TEST(TableTest, EmptyTablePrintsNothing) {
+  util::Table t;
+  std::ostringstream out;
+  t.print(out);
+  EXPECT_TRUE(out.str().empty());
+}
+
+TEST(TableTest, RowsLongerThanHeaderAreHandled) {
+  util::Table t;
+  t.set_header({"a"});
+  t.add_row({"1", "2", "3"});
+  std::ostringstream out;
+  t.print(out);
+  EXPECT_NE(out.str().find('3'), std::string::npos);
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(TableTest, CsvEscapesQuotesAndNewlines) {
+  util::Table t;
+  t.add_row({"he said \"hi\"", "line1\nline2"});
+  std::ostringstream out;
+  t.write_csv(out);
+  EXPECT_EQ(out.str(), "\"he said \"\"hi\"\"\",\"line1\nline2\"\n");
+}
+
+}  // namespace

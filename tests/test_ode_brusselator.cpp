@@ -1,0 +1,158 @@
+// Unit tests for the Brusselator system definition: right-hand side,
+// analytic Jacobian vs finite differences, initial/boundary handling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "ode/brusselator.hpp"
+
+namespace {
+
+using aiac::ode::Brusselator;
+
+Brusselator make(std::size_t n) {
+  Brusselator::Params p;
+  p.grid_points = n;
+  return Brusselator(p);
+}
+
+TEST(Brusselator, DimensionAndStencil) {
+  const auto sys = make(10);
+  EXPECT_EQ(sys.dimension(), 20u);
+  EXPECT_EQ(sys.stencil_halfwidth(), 2u);
+  EXPECT_EQ(sys.window_size(), 5u);
+}
+
+TEST(Brusselator, DiffusionCoefficient) {
+  const auto sys = make(49);
+  EXPECT_DOUBLE_EQ(sys.diffusion(), (1.0 / 50.0) * 50.0 * 50.0);
+}
+
+TEST(Brusselator, InitialStateMatchesPaper) {
+  const std::size_t n = 8;
+  const auto sys = make(n);
+  std::vector<double> y(sys.dimension());
+  sys.initial_state(y);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i + 1) / static_cast<double>(n + 1);
+    EXPECT_NEAR(y[2 * i], 1.0 + std::sin(2.0 * std::numbers::pi * x), 1e-15);
+    EXPECT_DOUBLE_EQ(y[2 * i + 1], 3.0);
+  }
+}
+
+TEST(Brusselator, RhsAtChemicalEquilibriumWithFlatProfile) {
+  // With u = 1, v = 3 everywhere (matching the boundary values), the
+  // diffusion terms vanish and the reaction terms are
+  // u' = 1 + 1*3 - 4 = 0, v' = 3 - 3 = 0: a steady state.
+  const std::size_t n = 5;
+  const auto sys = make(n);
+  std::vector<double> y(sys.dimension());
+  for (std::size_t i = 0; i < n; ++i) {
+    y[2 * i] = 1.0;
+    y[2 * i + 1] = 3.0;
+  }
+  std::vector<double> dydt(sys.dimension());
+  sys.rhs_full(0.0, y, dydt);
+  for (double d : dydt) EXPECT_NEAR(d, 0.0, 1e-12);
+}
+
+TEST(Brusselator, RhsMatchesHandComputedInteriorPoint) {
+  const std::size_t n = 4;
+  const auto sys = make(n);
+  const double c = sys.diffusion();
+  std::vector<double> y = {1.0, 2.0, 1.5, 2.5, 0.5, 3.5, 2.0, 1.0};
+  std::vector<double> dydt(y.size());
+  sys.rhs_full(0.0, y, dydt);
+  // Grid point i=1 (0-based): u=1.5, v=2.5, neighbors u0=1.0, u2=0.5.
+  const double u = 1.5, v = 2.5;
+  EXPECT_NEAR(dydt[2], 1.0 + u * u * v - 4.0 * u + c * (1.0 - 2.0 * u + 0.5),
+              1e-12);
+  // v'_1: v-neighbors v0=2.0, v2=3.5.
+  EXPECT_NEAR(dydt[3], 3.0 * u - u * u * v + c * (2.0 - 2.0 * v + 3.5),
+              1e-12);
+}
+
+TEST(Brusselator, BoundaryPointsUseDirichletValues) {
+  const std::size_t n = 3;
+  const auto sys = make(n);
+  const double c = sys.diffusion();
+  std::vector<double> y = {1.2, 2.8, 1.0, 3.0, 0.9, 3.1};
+  std::vector<double> dydt(y.size());
+  sys.rhs_full(0.0, y, dydt);
+  // Left-most grid point: u_{0} boundary value 1.0 enters the stencil.
+  const double u = 1.2, v = 2.8;
+  EXPECT_NEAR(dydt[0],
+              1.0 + u * u * v - 4.0 * u + c * (1.0 - 2.0 * u + 1.0), 1e-12);
+  EXPECT_NEAR(dydt[1], 3.0 * u - u * u * v + c * (3.0 - 2.0 * v + 3.0),
+              1e-12);
+  // Right-most grid point: boundary on the right.
+  const double ur = 0.9, vr = 3.1;
+  EXPECT_NEAR(dydt[4],
+              1.0 + ur * ur * vr - 4.0 * ur + c * (1.0 - 2.0 * ur + 1.0),
+              1e-12);
+  EXPECT_NEAR(dydt[5], 3.0 * ur - ur * ur * vr + c * (3.0 - 2.0 * vr + 3.0),
+              1e-12);
+}
+
+// Jacobian entries must match central finite differences of the RHS for
+// every (j, k) pair within the stencil, including boundary components.
+TEST(Brusselator, AnalyticJacobianMatchesFiniteDifferences) {
+  const std::size_t n = 6;
+  const auto sys = make(n);
+  std::vector<double> y(sys.dimension());
+  sys.initial_state(y);
+  // Perturb to a generic point.
+  for (std::size_t i = 0; i < y.size(); ++i)
+    y[i] += 0.1 * std::sin(static_cast<double>(i) + 0.5);
+
+  const double h = 1e-6;
+  std::vector<double> window(sys.window_size());
+  for (std::size_t j = 0; j < sys.dimension(); ++j) {
+    sys.extract_window(y, j, window);
+    for (std::ptrdiff_t d = -2; d <= 2; ++d) {
+      const std::ptrdiff_t k = static_cast<std::ptrdiff_t>(j) + d;
+      if (k < 0 || k >= static_cast<std::ptrdiff_t>(sys.dimension()))
+        continue;
+      const double analytic = sys.rhs_partial(
+          j, static_cast<std::size_t>(k), 0.0, window);
+      std::vector<double> wp(window.begin(), window.end());
+      std::vector<double> wm(window.begin(), window.end());
+      wp[static_cast<std::size_t>(2 + d)] += h;
+      wm[static_cast<std::size_t>(2 + d)] -= h;
+      const double numeric =
+          (sys.rhs_component(j, 0.0, wp) - sys.rhs_component(j, 0.0, wm)) /
+          (2.0 * h);
+      EXPECT_NEAR(analytic, numeric, 1e-4)
+          << "j=" << j << " d=" << d;
+    }
+  }
+}
+
+TEST(Brusselator, RejectsZeroGridPoints) {
+  Brusselator::Params p;
+  p.grid_points = 0;
+  EXPECT_THROW(Brusselator{p}, std::invalid_argument);
+}
+
+class BrusselatorSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BrusselatorSizes, WindowExtractionConsistentWithFullRhs) {
+  const std::size_t n = GetParam();
+  const auto sys = make(n);
+  std::vector<double> y(sys.dimension());
+  sys.initial_state(y);
+  std::vector<double> dydt_full(sys.dimension());
+  sys.rhs_full(0.0, y, dydt_full);
+  std::vector<double> window(sys.window_size());
+  for (std::size_t j = 0; j < sys.dimension(); ++j) {
+    sys.extract_window(y, j, window);
+    EXPECT_DOUBLE_EQ(dydt_full[j], sys.rhs_component(j, 0.0, window));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(VariousSizes, BrusselatorSizes,
+                         ::testing::Values(1, 2, 3, 5, 16, 64));
+
+}  // namespace

@@ -1,0 +1,155 @@
+// Tests for the linear reaction-diffusion system and its use through the
+// same machinery as the Brusselator (generality of the engine).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "core/sim_engine.hpp"
+#include "grid/grid.hpp"
+#include "ode/integrators.hpp"
+#include "ode/linear_diffusion.hpp"
+#include "ode/waveform.hpp"
+
+namespace {
+
+using namespace aiac;
+using ode::LinearDiffusion;
+
+LinearDiffusion plain(std::size_t n) {
+  LinearDiffusion::Params p;
+  p.grid_points = n;
+  return LinearDiffusion(p);
+}
+
+TEST(LinearDiffusion, StencilIsNearestNeighbor) {
+  const auto sys = plain(10);
+  EXPECT_EQ(sys.stencil_halfwidth(), 1u);
+  EXPECT_EQ(sys.dimension(), 10u);
+}
+
+TEST(LinearDiffusion, JacobianMatchesFiniteDifferences) {
+  LinearDiffusion::Params p;
+  p.grid_points = 7;
+  p.sigma = 0.3;
+  const LinearDiffusion sys(p);
+  std::vector<double> y(sys.dimension());
+  sys.initial_state(y);
+  std::vector<double> window(sys.window_size());
+  const double h = 1e-6;
+  for (std::size_t j = 0; j < sys.dimension(); ++j) {
+    sys.extract_window(y, j, window);
+    for (std::ptrdiff_t d = -1; d <= 1; ++d) {
+      const std::ptrdiff_t k = static_cast<std::ptrdiff_t>(j) + d;
+      if (k < 0 || k >= static_cast<std::ptrdiff_t>(sys.dimension()))
+        continue;
+      auto wp = window, wm = window;
+      wp[static_cast<std::size_t>(1 + d)] += h;
+      wm[static_cast<std::size_t>(1 + d)] -= h;
+      const double numeric =
+          (sys.rhs_component(j, 0.0, wp) - sys.rhs_component(j, 0.0, wm)) /
+          (2.0 * h);
+      EXPECT_NEAR(sys.rhs_partial(j, static_cast<std::size_t>(k), 0.0,
+                                  window),
+                  numeric, 1e-4);
+    }
+  }
+}
+
+TEST(LinearDiffusion, FourierModeDecaysAtAnalyticRate) {
+  // With zero boundaries, no source and no decay term, the first Fourier
+  // mode sin(pi x) decays as exp(-lambda t) with
+  // lambda = 4 nu (N+1)^2 sin^2(pi / (2(N+1))).
+  LinearDiffusion::Params p;
+  p.grid_points = 31;
+  p.nu = 0.002;
+  const LinearDiffusion sys(p);
+  const double np1 = 32.0;
+  const double lambda = 4.0 * sys.diffusion() *
+                        std::pow(std::sin(std::numbers::pi / (2.0 * np1)), 2);
+
+  ode::IntegrationOptions opts;
+  opts.t_end = 1.0;
+  opts.num_steps = 8000;  // fine steps: implicit Euler is first order
+  const auto run = ode::implicit_euler_integrate(sys, opts);
+  const auto final = run.trajectory.column(opts.num_steps);
+  std::vector<double> y0(sys.dimension());
+  sys.initial_state(y0);
+  for (std::size_t i = 0; i < sys.dimension(); ++i)
+    EXPECT_NEAR(final[i], y0[i] * std::exp(-lambda), 2e-4) << "i=" << i;
+}
+
+TEST(LinearDiffusion, SteadyStateSatisfiesTheEquation) {
+  LinearDiffusion::Params p;
+  p.grid_points = 25;
+  p.sigma = 0.2;
+  p.left_boundary = 1.0;
+  p.right_boundary = 2.0;
+  p.source.assign(25, 0.5);
+  const LinearDiffusion sys(p);
+  const auto steady = sys.steady_state();
+  // f(steady) must be ~0 componentwise.
+  std::vector<double> window(sys.window_size());
+  for (std::size_t j = 0; j < sys.dimension(); ++j) {
+    sys.extract_window(steady, j, window);
+    EXPECT_NEAR(sys.rhs_component(j, 0.0, window), 0.0, 1e-9) << "j=" << j;
+  }
+}
+
+TEST(LinearDiffusion, WaveformRelaxationMatchesSequentialIntegrator) {
+  const auto sys = plain(24);
+  ode::WaveformOptions opts;
+  opts.blocks = 3;
+  opts.num_steps = 50;
+  opts.t_end = 2.0;
+  opts.tolerance = 1e-10;
+  const auto wr = ode::waveform_relaxation(sys, opts);
+  ASSERT_TRUE(wr.converged);
+
+  ode::IntegrationOptions iopts;
+  iopts.t_end = 2.0;
+  iopts.num_steps = 50;
+  const auto ie = ode::implicit_euler_integrate(sys, iopts);
+  EXPECT_LT(wr.trajectory.max_abs_diff(ie.trajectory), 1e-8);
+}
+
+TEST(LinearDiffusion, SimulatedAiacSolvesTheLinearProblem) {
+  LinearDiffusion::Params p;
+  p.grid_points = 30;
+  p.sigma = 0.1;
+  p.right_boundary = 1.0;
+  const LinearDiffusion sys(p);
+  grid::HomogeneousClusterParams cluster;
+  cluster.processes = 3;
+  cluster.multi_user = false;
+  auto machines = grid::make_homogeneous_cluster(cluster);
+  core::EngineConfig config;
+  config.scheme = core::Scheme::kAIAC;
+  config.load_balancing = true;
+  config.num_steps = 40;
+  config.t_end = 2.0;
+  config.tolerance = 1e-9;
+  config.balancer.trigger_period = 3;
+  const auto result = core::run_simulated(sys, *machines, config);
+  ASSERT_TRUE(result.converged);
+
+  ode::IntegrationOptions iopts;
+  iopts.t_end = 2.0;
+  iopts.num_steps = 40;
+  const auto reference = ode::implicit_euler_integrate(sys, iopts);
+  EXPECT_LT(result.solution.max_abs_diff(reference.trajectory), 1e-6);
+}
+
+TEST(LinearDiffusion, RejectsBadParams) {
+  LinearDiffusion::Params p;
+  p.grid_points = 0;
+  EXPECT_THROW(LinearDiffusion{p}, std::invalid_argument);
+  p.grid_points = 5;
+  p.nu = 0.0;
+  EXPECT_THROW(LinearDiffusion{p}, std::invalid_argument);
+  p.nu = 1.0;
+  p.source.assign(3, 0.0);  // wrong length
+  EXPECT_THROW(LinearDiffusion{p}, std::invalid_argument);
+}
+
+}  // namespace

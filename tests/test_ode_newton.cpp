@@ -1,0 +1,208 @@
+// Tests for the scalar and block implicit-Euler Newton solvers and the
+// sequential integrators built on them.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "ode/brusselator.hpp"
+#include "ode/integrators.hpp"
+#include "ode/newton.hpp"
+
+namespace {
+
+using namespace aiac::ode;
+
+// A trivial scalar system y' = -lambda y with known implicit Euler step
+// y_next = y_prev / (1 + lambda dt).
+class Decay final : public OdeSystem {
+ public:
+  explicit Decay(double lambda) : lambda_(lambda) {}
+  std::size_t dimension() const noexcept override { return 1; }
+  std::size_t stencil_halfwidth() const noexcept override { return 0; }
+  double rhs_component(std::size_t, double,
+                       std::span<const double> w) const override {
+    return -lambda_ * w[0];
+  }
+  double rhs_partial(std::size_t, std::size_t, double,
+                     std::span<const double>) const override {
+    return -lambda_;
+  }
+  void initial_state(std::span<double> y) const override { y[0] = 1.0; }
+
+ private:
+  double lambda_;
+};
+
+TEST(ScalarNewton, LinearDecayClosedForm) {
+  const Decay sys(10.0);
+  const double dt = 0.05;
+  const double y_prev = 0.7;
+  std::vector<double> window = {y_prev};  // initial guess = previous value
+  const auto result =
+      scalar_implicit_euler_solve(sys, 0, y_prev, window, dt, dt);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.value, y_prev / (1.0 + 10.0 * dt), 1e-12);
+  // Linear problem: Newton converges in one step (plus the check).
+  EXPECT_LE(result.iterations, 2u);
+}
+
+TEST(ScalarNewton, StiffDecayStaysStable) {
+  const Decay sys(1e6);
+  const double dt = 0.1;
+  std::vector<double> window = {1.0};
+  const auto result =
+      scalar_implicit_euler_solve(sys, 0, 1.0, window, dt, dt);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.value, 1.0 / (1.0 + 1e5 * 1.0), 1e-8);
+  EXPECT_GE(result.value, 0.0);
+}
+
+TEST(BlockNewton, FullBrusselatorStepConverges) {
+  Brusselator::Params p;
+  p.grid_points = 10;
+  const Brusselator sys(p);
+  const std::size_t n = sys.dimension();
+  std::vector<double> prev(n), next(n), ghost(2, 0.0);
+  sys.initial_state(prev);
+  next = prev;
+  const double dt = 0.01;
+  const auto result = block_implicit_euler_step(sys, 0, prev, next, ghost,
+                                                ghost, dt, dt);
+  EXPECT_TRUE(result.converged);
+  EXPECT_GE(result.newton_iterations, 1u);
+  // The step must actually move the state (initial data is not steady).
+  double moved = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    moved = std::max(moved, std::abs(next[i] - prev[i]));
+  EXPECT_GT(moved, 1e-6);
+}
+
+TEST(BlockNewton, WarmStartFromSolutionTakesOneIteration) {
+  Brusselator::Params p;
+  p.grid_points = 8;
+  const Brusselator sys(p);
+  const std::size_t n = sys.dimension();
+  std::vector<double> prev(n), next(n), ghost(2, 0.0);
+  sys.initial_state(prev);
+  next = prev;
+  const double dt = 0.01;
+  (void)block_implicit_euler_step(sys, 0, prev, next, ghost, ghost, dt, dt);
+  // Re-solve from the converged value: the residual check must detect it
+  // and skip the factorization entirely (zero Newton iterations).
+  std::vector<double> again(next);
+  const auto r2 = block_implicit_euler_step(sys, 0, prev, again, ghost,
+                                            ghost, dt, dt);
+  EXPECT_TRUE(r2.converged);
+  EXPECT_TRUE(r2.skipped_by_check);
+  EXPECT_EQ(r2.newton_iterations, 0u);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(again[i], next[i], 1e-9);
+}
+
+TEST(BlockNewton, PartitionedBlocksWithExactGhostsMatchFullSolve) {
+  // Splitting the Newton solve into two blocks and feeding each the exact
+  // values of the other side must reproduce the full solve at the fixed
+  // point: iterate the two-block Gauss-Seidel-style sweep to convergence.
+  Brusselator::Params p;
+  p.grid_points = 10;
+  const Brusselator sys(p);
+  const std::size_t n = sys.dimension();
+  std::vector<double> prev(n), full(n);
+  sys.initial_state(prev);
+  full = prev;
+  const double dt = 0.02;
+  std::vector<double> ghost(2, 0.0);
+  (void)block_implicit_euler_step(sys, 0, prev, full, ghost, ghost, dt, dt);
+
+  const std::size_t half = n / 2;
+  std::vector<double> left(prev.begin(), prev.begin() + half);
+  std::vector<double> right(prev.begin() + half, prev.end());
+  std::vector<double> prev_left(left), prev_right(right);
+  for (int sweep = 0; sweep < 50; ++sweep) {
+    std::vector<double> gl(2, 0.0);
+    std::vector<double> gr = {right[0], right[1]};
+    (void)block_implicit_euler_step(sys, 0, prev_left, left, gl, gr, dt, dt);
+    std::vector<double> gl2 = {left[half - 2], left[half - 1]};
+    std::vector<double> gr2(2, 0.0);
+    (void)block_implicit_euler_step(sys, half, prev_right, right, gl2, gr2,
+                                    dt, dt);
+  }
+  for (std::size_t i = 0; i < half; ++i)
+    EXPECT_NEAR(left[i], full[i], 1e-8) << "left " << i;
+  for (std::size_t i = 0; i < n - half; ++i)
+    EXPECT_NEAR(right[i], full[half + i], 1e-8) << "right " << i;
+}
+
+TEST(BlockNewton, RejectsMismatchedSizes) {
+  Brusselator::Params p;
+  p.grid_points = 4;
+  const Brusselator sys(p);
+  std::vector<double> prev(8), next(6), ghost(2, 0.0);
+  EXPECT_THROW(block_implicit_euler_step(sys, 0, prev, next, ghost, ghost,
+                                         0.01, 0.01),
+               std::invalid_argument);
+}
+
+TEST(ImplicitEuler, MatchesRk4OnModerateProblem) {
+  // Cross-validation of two independent integrators. Implicit Euler is
+  // first order, so compare with a small step against a fine RK4 run.
+  Brusselator::Params p;
+  p.grid_points = 8;
+  const Brusselator sys(p);
+  IntegrationOptions opts;
+  opts.t_end = 1.0;
+  opts.num_steps = 4000;
+  const auto ie = implicit_euler_integrate(sys, opts);
+  EXPECT_TRUE(ie.all_steps_converged);
+  const auto rk = rk4_integrate(sys, 1.0, 4000);
+  const auto ie_final = ie.trajectory.column(opts.num_steps);
+  const auto rk_final = rk.column(4000);
+  for (std::size_t i = 0; i < sys.dimension(); ++i)
+    EXPECT_NEAR(ie_final[i], rk_final[i], 5e-3) << "component " << i;
+}
+
+TEST(ImplicitEuler, FirstOrderConvergence) {
+  // Halving dt should roughly halve the error against a fine reference.
+  Brusselator::Params p;
+  p.grid_points = 4;
+  const Brusselator sys(p);
+  const auto reference = rk4_integrate(sys, 0.5, 8000);
+  const auto ref_final = reference.column(8000);
+
+  auto error_for = [&](std::size_t steps) {
+    IntegrationOptions opts;
+    opts.t_end = 0.5;
+    opts.num_steps = steps;
+    const auto r = implicit_euler_integrate(sys, opts);
+    const auto final = r.trajectory.column(steps);
+    double err = 0.0;
+    for (std::size_t i = 0; i < final.size(); ++i)
+      err = std::max(err, std::abs(final[i] - ref_final[i]));
+    return err;
+  };
+  const double e1 = error_for(100);
+  const double e2 = error_for(200);
+  EXPECT_GT(e1 / e2, 1.6);
+  EXPECT_LT(e1 / e2, 2.6);
+}
+
+TEST(ImplicitEuler, WorkDecreasesAsDtShrinks) {
+  Brusselator::Params p;
+  p.grid_points = 4;
+  const Brusselator sys(p);
+  IntegrationOptions coarse;
+  coarse.t_end = 1.0;
+  coarse.num_steps = 50;
+  IntegrationOptions fine = coarse;
+  fine.num_steps = 500;
+  const auto rc = implicit_euler_integrate(sys, coarse);
+  const auto rf = implicit_euler_integrate(sys, fine);
+  // Per-step Newton effort drops with dt (better warm start).
+  const double per_step_coarse =
+      static_cast<double>(rc.total_newton_iterations) / 50.0;
+  const double per_step_fine =
+      static_cast<double>(rf.total_newton_iterations) / 500.0;
+  EXPECT_LE(per_step_fine, per_step_coarse + 1e-9);
+}
+
+}  // namespace

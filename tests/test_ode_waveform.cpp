@@ -1,0 +1,256 @@
+// Tests for WaveformBlock (the per-processor state with ghost exchange and
+// the migration protocol) and the sequential waveform relaxation driver.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "ode/brusselator.hpp"
+#include "ode/integrators.hpp"
+#include "ode/waveform.hpp"
+#include "ode/waveform_block.hpp"
+
+namespace {
+
+using namespace aiac::ode;
+
+Brusselator small_system(std::size_t grid_points = 12) {
+  Brusselator::Params p;
+  p.grid_points = grid_points;
+  return Brusselator(p);
+}
+
+WaveformBlockConfig config_for(std::size_t first, std::size_t count,
+                               std::size_t steps = 50, double t_end = 0.5) {
+  WaveformBlockConfig c;
+  c.first = first;
+  c.count = count;
+  c.num_steps = steps;
+  c.t_end = t_end;
+  return c;
+}
+
+TEST(EvenPartition, SplitsWithoutGapsOrOverlaps) {
+  const auto starts = even_partition(23, 5);
+  ASSERT_EQ(starts.size(), 6u);
+  EXPECT_EQ(starts.front(), 0u);
+  EXPECT_EQ(starts.back(), 23u);
+  for (std::size_t p = 0; p < 5; ++p) {
+    EXPECT_LT(starts[p], starts[p + 1]);
+    const std::size_t size = starts[p + 1] - starts[p];
+    EXPECT_GE(size, 4u);
+    EXPECT_LE(size, 5u);
+  }
+}
+
+TEST(EvenPartition, RejectsDegenerateInputs) {
+  EXPECT_THROW(even_partition(5, 0), std::invalid_argument);
+  EXPECT_THROW(even_partition(3, 4), std::invalid_argument);
+}
+
+TEST(WaveformSequential, SingleBlockEqualsImplicitEuler) {
+  const auto sys = small_system(8);
+  WaveformOptions opts;
+  opts.blocks = 1;
+  opts.num_steps = 100;
+  opts.t_end = 1.0;
+  opts.tolerance = 1e-10;
+  const auto wr = waveform_relaxation(sys, opts);
+  EXPECT_TRUE(wr.converged);
+  // One block sees no stale data: the second sweep confirms convergence.
+  EXPECT_LE(wr.outer_iterations, 2u);
+
+  IntegrationOptions iopts;
+  iopts.t_end = 1.0;
+  iopts.num_steps = 100;
+  const auto ie = implicit_euler_integrate(sys, iopts);
+  EXPECT_NEAR(wr.trajectory.max_abs_diff(ie.trajectory), 0.0, 1e-8);
+}
+
+TEST(WaveformSequential, MultiBlockConvergesToSingleBlockSolution) {
+  const auto sys = small_system(12);
+  WaveformOptions one;
+  one.blocks = 1;
+  one.num_steps = 80;
+  one.t_end = 1.0;
+  const auto ref = waveform_relaxation(sys, one);
+
+  for (std::size_t blocks : {2u, 3u, 4u}) {
+    WaveformOptions opts = one;
+    opts.blocks = blocks;
+    opts.tolerance = 1e-9;
+    const auto wr = waveform_relaxation(sys, opts);
+    EXPECT_TRUE(wr.converged) << blocks << " blocks";
+    EXPECT_LT(wr.trajectory.max_abs_diff(ref.trajectory), 1e-6)
+        << blocks << " blocks";
+    EXPECT_GT(wr.outer_iterations, 1u);
+  }
+}
+
+TEST(WaveformSequential, ScalarModeConvergesToSameSolution) {
+  const auto sys = small_system(6);
+  WaveformOptions block_opts;
+  block_opts.blocks = 2;
+  block_opts.num_steps = 40;
+  block_opts.t_end = 0.5;
+  block_opts.tolerance = 1e-9;
+  const auto block_result = waveform_relaxation(sys, block_opts);
+
+  WaveformOptions scalar_opts = block_opts;
+  scalar_opts.mode = LocalSolveMode::kScalarJacobi;
+  scalar_opts.max_outer_iterations = 20000;
+  const auto scalar_result = waveform_relaxation(sys, scalar_opts);
+  EXPECT_TRUE(scalar_result.converged);
+  EXPECT_LT(
+      scalar_result.trajectory.max_abs_diff(block_result.trajectory), 1e-6);
+  // Scalar (pointwise Jacobi) needs more outer iterations than block mode.
+  EXPECT_GE(scalar_result.outer_iterations, block_result.outer_iterations);
+}
+
+TEST(WaveformSequential, ResidualHistoryIsEventuallyDecreasing) {
+  const auto sys = small_system(10);
+  WaveformOptions opts;
+  opts.blocks = 3;
+  opts.num_steps = 60;
+  opts.t_end = 1.0;
+  opts.tolerance = 1e-9;
+  const auto wr = waveform_relaxation(sys, opts);
+  ASSERT_TRUE(wr.converged);
+  ASSERT_GE(wr.residual_history.size(), 3u);
+  // The tail of the history must be monotonically non-increasing.
+  for (std::size_t i = wr.residual_history.size() / 2;
+       i + 1 < wr.residual_history.size(); ++i)
+    EXPECT_LE(wr.residual_history[i + 1], wr.residual_history[i] * 1.5);
+  EXPECT_LE(wr.residual_history.back(), opts.tolerance);
+}
+
+TEST(WaveformBlockTest, BoundaryMessagesCarryPositionAndResidual) {
+  const auto sys = small_system(10);
+  WaveformBlock block(sys, config_for(6, 8));
+  (void)block.iterate();
+  const auto left = block.boundary_for_left();
+  EXPECT_EQ(left.global_first, 6u);
+  EXPECT_EQ(left.row_count, 2u);
+  EXPECT_EQ(left.points, 51u);
+  EXPECT_DOUBLE_EQ(left.sender_residual, block.last_residual());
+  const auto right = block.boundary_for_right();
+  EXPECT_EQ(right.global_first, 12u);
+  EXPECT_EQ(right.rows.size(), 2u * 51u);
+}
+
+TEST(WaveformBlockTest, GhostAcceptanceChecksGlobalPosition) {
+  const auto sys = small_system(10);
+  WaveformBlock left(sys, config_for(0, 10));
+  WaveformBlock right(sys, config_for(10, 10));
+  (void)left.iterate();
+  (void)right.iterate();
+  EXPECT_TRUE(right.accept_left_ghosts(left.boundary_for_right()));
+  EXPECT_TRUE(left.accept_right_ghosts(right.boundary_for_left()));
+  // Wrong position (stale message during resize) must be rejected.
+  auto stale = left.boundary_for_right();
+  stale.global_first += 2;
+  EXPECT_FALSE(right.accept_left_ghosts(stale));
+  // Boundary blocks reject ghosts from a non-existent neighbor.
+  EXPECT_FALSE(left.accept_left_ghosts(left.boundary_for_right()));
+}
+
+TEST(WaveformBlockTest, MigrationMovesOwnershipAndPreservesCoverage) {
+  const auto sys = small_system(12);  // 24 components
+  WaveformBlock a(sys, config_for(0, 12));
+  WaveformBlock b(sys, config_for(12, 12));
+  (void)a.iterate();
+  (void)b.iterate();
+
+  // b sends its first 4 components to a (balancing toward the left).
+  const auto payload = b.extract_for_left(4);
+  EXPECT_EQ(payload.owned_count, 4u);
+  EXPECT_EQ(payload.row_first, 12u);
+  EXPECT_EQ(payload.rows.size(), 6u * 51u);
+  EXPECT_EQ(b.first(), 16u);
+  EXPECT_EQ(b.count(), 8u);
+
+  a.absorb_from_right(payload);
+  EXPECT_EQ(a.first(), 0u);
+  EXPECT_EQ(a.count(), 16u);
+  // Coverage invariant: ranges tile [0, 24) exactly.
+  EXPECT_EQ(a.first() + a.count(), b.first());
+  EXPECT_EQ(b.first() + b.count(), sys.dimension());
+}
+
+TEST(WaveformBlockTest, MigrationRightThenContinueConverges) {
+  const auto sys = small_system(12);
+  WaveformBlock a(sys, config_for(0, 12, 40, 0.5));
+  WaveformBlock b(sys, config_for(12, 12, 40, 0.5));
+
+  // Run a few synchronized sweeps, migrate, then converge; the final
+  // solution must match the unpartitioned reference.
+  auto sweep = [&] {
+    const auto sa = a.iterate();
+    const auto sb = b.iterate();
+    EXPECT_TRUE(b.accept_left_ghosts(a.boundary_for_right()));
+    EXPECT_TRUE(a.accept_right_ghosts(b.boundary_for_left()));
+    return std::max(sa.residual, sb.residual);
+  };
+  (void)sweep();
+  (void)sweep();
+  const auto payload = a.extract_for_right(5);
+  b.absorb_from_left(payload);
+  EXPECT_EQ(a.count(), 7u);
+  EXPECT_EQ(b.count(), 17u);
+  EXPECT_EQ(b.first(), 7u);
+
+  double residual = 1.0;
+  for (int i = 0; i < 400 && residual > 1e-10; ++i) residual = sweep();
+  EXPECT_LE(residual, 1e-10);
+
+  Trajectory merged(sys.dimension(), 40);
+  a.copy_local_into(merged);
+  b.copy_local_into(merged);
+
+  WaveformOptions ref_opts;
+  ref_opts.blocks = 1;
+  ref_opts.num_steps = 40;
+  ref_opts.t_end = 0.5;
+  const auto ref = waveform_relaxation(sys, ref_opts);
+  EXPECT_LT(merged.max_abs_diff(ref.trajectory), 1e-7);
+}
+
+TEST(WaveformBlockTest, ExtractRespectsFamineLimit) {
+  const auto sys = small_system(8);
+  WaveformBlock block(sys, config_for(4, 6));
+  EXPECT_THROW(block.extract_for_left(5), std::invalid_argument);
+  EXPECT_THROW(block.extract_for_left(0), std::invalid_argument);
+  EXPECT_THROW(block.extract_for_right(6), std::invalid_argument);
+  EXPECT_NO_THROW(block.extract_for_right(4));
+}
+
+TEST(WaveformBlockTest, AbsorbRejectsNonAdjacentPayload) {
+  const auto sys = small_system(12);
+  WaveformBlock a(sys, config_for(0, 12));
+  WaveformBlock b(sys, config_for(12, 12));
+  auto payload = b.extract_for_left(4);
+  payload.row_first += 2;  // corrupt adjacency
+  EXPECT_THROW(a.absorb_from_right(payload), std::logic_error);
+}
+
+TEST(WaveformBlockTest, WorkShrinksAsBlockConverges) {
+  const auto sys = small_system(10);
+  WaveformBlock left(sys, config_for(0, 10, 60, 1.0));
+  WaveformBlock right(sys, config_for(10, 10, 60, 1.0));
+  double first_work = 0.0;
+  double last_work = 0.0;
+  for (int i = 0; i < 30; ++i) {
+    const auto sl = left.iterate();
+    const auto sr = right.iterate();
+    EXPECT_TRUE(right.accept_left_ghosts(left.boundary_for_right()));
+    EXPECT_TRUE(left.accept_right_ghosts(right.boundary_for_left()));
+    if (i == 0) first_work = sl.work + sr.work;
+    last_work = sl.work + sr.work;
+  }
+  // The evolving-workload phenomenon: converged trajectories warm-start
+  // Newton, so late iterations are cheaper than the first.
+  EXPECT_LT(last_work, first_work);
+}
+
+}  // namespace

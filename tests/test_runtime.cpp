@@ -1,0 +1,115 @@
+// Tests for the PM²-like in-process message-passing primitives.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "runtime/barrier.hpp"
+#include "runtime/mailbox.hpp"
+#include "runtime/notifier.hpp"
+#include "runtime/thread_team.hpp"
+
+namespace {
+
+using namespace aiac::runtime;
+
+TEST(Mailbox, FifoOrder) {
+  Mailbox<int> box;
+  box.push(1);
+  box.push(2);
+  box.push(3);
+  EXPECT_EQ(box.size(), 3u);
+  EXPECT_EQ(box.try_pop().value(), 1);
+  EXPECT_EQ(box.try_pop().value(), 2);
+  EXPECT_EQ(box.try_pop().value(), 3);
+  EXPECT_FALSE(box.try_pop().has_value());
+  EXPECT_TRUE(box.empty());
+}
+
+TEST(Mailbox, NotifiesOnPush) {
+  Notifier notifier;
+  Mailbox<int> box(&notifier);
+  std::atomic<bool> got{false};
+  std::thread consumer([&] {
+    notifier.wait_for(std::chrono::milliseconds(2000),
+                      [&] { return !box.empty(); });
+    got = box.try_pop().has_value();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  box.push(42);
+  consumer.join();
+  EXPECT_TRUE(got);
+}
+
+TEST(SlotBox, LatestValueWins) {
+  SlotBox<int> slot;
+  EXPECT_FALSE(slot.has_value());
+  slot.put(1);
+  slot.put(2);  // overwrites the unread value
+  EXPECT_EQ(slot.take().value(), 2);
+  EXPECT_FALSE(slot.take().has_value());
+}
+
+TEST(SlotBox, ConcurrentPutTakeIsSafe) {
+  SlotBox<int> slot;
+  std::atomic<bool> stop{false};
+  std::atomic<int> taken{0};
+  std::thread producer([&] {
+    for (int i = 1; i <= 2000; ++i) slot.put(i);
+    stop = true;
+  });
+  std::thread consumer([&] {
+    int last = 0;
+    while (!stop || slot.has_value()) {
+      if (auto v = slot.take()) {
+        // Values must be observed in nondecreasing order (latest wins).
+        EXPECT_GE(*v, last);
+        last = *v;
+        ++taken;
+      }
+    }
+  });
+  producer.join();
+  consumer.join();
+  EXPECT_GT(taken.load(), 0);
+}
+
+TEST(Barrier, SynchronizesPhases) {
+  constexpr std::size_t kThreads = 4;
+  Barrier barrier(kThreads);
+  std::atomic<int> counter{0};
+  std::vector<int> observed(kThreads, -1);
+  ThreadTeam team;
+  team.spawn(kThreads, [&](std::size_t rank) {
+    counter.fetch_add(1);
+    barrier.arrive_and_wait();
+    // After the barrier every increment must be visible.
+    observed[rank] = counter.load();
+    barrier.arrive_and_wait();
+  });
+  team.join();
+  for (int value : observed) EXPECT_EQ(value, kThreads);
+  EXPECT_EQ(barrier.phase(), 2u);
+}
+
+TEST(Barrier, RejectsZeroParties) {
+  EXPECT_THROW(Barrier{0}, std::invalid_argument);
+}
+
+TEST(ThreadTeam, RunsEveryRankExactlyOnce) {
+  std::vector<std::atomic<int>> hits(8);
+  ThreadTeam team;
+  team.spawn(8, [&](std::size_t rank) { hits[rank].fetch_add(1); });
+  team.join();
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Notifier, WaitTimesOutWhenNothingHappens) {
+  Notifier notifier;
+  const bool result = notifier.wait_for(std::chrono::milliseconds(20),
+                                        [] { return false; });
+  EXPECT_FALSE(result);
+}
+
+}  // namespace

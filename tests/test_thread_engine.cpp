@@ -1,0 +1,141 @@
+// Integration tests of the threaded (PM²-like) backend: real concurrency,
+// real message passing, checked against the sequential reference.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/thread_engine.hpp"
+#include "ode/brusselator.hpp"
+#include "ode/waveform.hpp"
+
+namespace {
+
+using namespace aiac;
+using core::EngineConfig;
+using core::Scheme;
+
+ode::Brusselator test_system(std::size_t grid_points = 20) {
+  ode::Brusselator::Params p;
+  p.grid_points = grid_points;
+  return ode::Brusselator(p);
+}
+
+EngineConfig base_config() {
+  EngineConfig config;
+  config.num_steps = 30;
+  config.t_end = 0.8;
+  config.tolerance = 1e-8;
+  config.persistence = 3;
+  return config;
+}
+
+ode::Trajectory reference_solution(const ode::OdeSystem& system,
+                                   const EngineConfig& config) {
+  ode::WaveformOptions opts;
+  opts.blocks = 1;
+  opts.num_steps = config.num_steps;
+  opts.t_end = config.t_end;
+  opts.tolerance = config.tolerance;
+  return ode::waveform_relaxation(system, opts).trajectory;
+}
+
+TEST(ThreadEngine, AiacConvergesToReference) {
+  const auto system = test_system();
+  auto config = base_config();
+  config.scheme = Scheme::kAIAC;
+  const auto result = core::run_threaded(system, 3, config);
+  ASSERT_TRUE(result.converged);
+  EXPECT_GT(result.execution_time, 0.0);
+  EXPECT_LT(result.solution.max_abs_diff(reference_solution(system, config)),
+            1e-4);
+}
+
+TEST(ThreadEngine, SyncSchemeConvergesToReference) {
+  const auto system = test_system();
+  auto config = base_config();
+  config.scheme = Scheme::kSISC;
+  const auto result = core::run_threaded(system, 3, config);
+  ASSERT_TRUE(result.converged);
+  EXPECT_LT(result.solution.max_abs_diff(reference_solution(system, config)),
+            1e-4);
+}
+
+TEST(ThreadEngine, SingleProcessorReducesToSequential) {
+  const auto system = test_system(10);
+  auto config = base_config();
+  config.scheme = Scheme::kAIAC;
+  const auto result = core::run_threaded(system, 1, config);
+  ASSERT_TRUE(result.converged);
+  EXPECT_LT(result.solution.max_abs_diff(reference_solution(system, config)),
+            1e-8);
+}
+
+TEST(ThreadEngine, LoadBalancingPreservesComponentsAndSolution) {
+  const auto system = test_system(32);
+  auto config = base_config();
+  config.scheme = Scheme::kAIAC;
+  config.load_balancing = true;
+  config.balancer.trigger_period = 2;
+  config.balancer.threshold_ratio = 1.5;
+  config.balancer.min_components = 3;
+  const auto result = core::run_threaded(system, 4, config);
+  ASSERT_TRUE(result.converged);
+  const std::size_t total = std::accumulate(
+      result.final_components.begin(), result.final_components.end(),
+      std::size_t{0});
+  EXPECT_EQ(total, system.dimension());
+  for (std::size_t c : result.final_components) EXPECT_GE(c, 3u);
+  EXPECT_LT(result.solution.max_abs_diff(reference_solution(system, config)),
+            1e-4);
+}
+
+TEST(ThreadEngine, ReportsFailureWhenIterationBudgetExhausted) {
+  const auto system = test_system(10);
+  auto config = base_config();
+  config.tolerance = 0.0;  // unreachable
+  config.max_iterations_per_processor = 30;
+  const auto result = core::run_threaded(system, 2, config);
+  EXPECT_FALSE(result.converged);
+}
+
+TEST(ThreadEngine, RejectsZeroProcessors) {
+  const auto system = test_system(10);
+  EXPECT_THROW(core::run_threaded(system, 0, base_config()),
+               std::invalid_argument);
+}
+
+TEST(ThreadEngine, StatsArepopulated) {
+  const auto system = test_system();
+  auto config = base_config();
+  config.scheme = Scheme::kAIAC;
+  const auto result = core::run_threaded(system, 3, config);
+  ASSERT_TRUE(result.converged);
+  EXPECT_EQ(result.iterations_per_processor.size(), 3u);
+  EXPECT_GT(result.total_iterations, 0u);
+  EXPECT_GT(result.data_messages, 0u);
+  EXPECT_GT(result.bytes_sent, 0u);
+  EXPECT_GT(result.total_work, 0.0);
+}
+
+class ThreadSchemes : public ::testing::TestWithParam<Scheme> {};
+
+TEST_P(ThreadSchemes, RepeatedRunsConvergeToTheSameSolution) {
+  // Thread scheduling is nondeterministic; the fixed point is not.
+  const auto system = test_system(16);
+  auto config = base_config();
+  config.scheme = GetParam();
+  const auto a = core::run_threaded(system, 3, config);
+  const auto b = core::run_threaded(system, 3, config);
+  ASSERT_TRUE(a.converged);
+  ASSERT_TRUE(b.converged);
+  EXPECT_LT(a.solution.max_abs_diff(b.solution), 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, ThreadSchemes,
+                         ::testing::Values(Scheme::kSISC, Scheme::kSIAC,
+                                           Scheme::kAIAC),
+                         [](const auto& param_info) {
+                           return core::to_string(param_info.param);
+                         });
+
+}  // namespace

@@ -1,0 +1,92 @@
+// Tests for execution tracing: interval accounting, idle fractions, CSV
+// and Gantt output.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/execution_trace.hpp"
+
+namespace {
+
+using namespace aiac::trace;
+
+ExecutionTrace two_proc_trace() {
+  ExecutionTrace t;
+  // P0 busy [0,2] and [3,4]; P1 busy [0,4].
+  t.record_iteration({0, 1, 0.0, 2.0, 10.0, 0.5, 8});
+  t.record_iteration({0, 2, 3.0, 4.0, 5.0, 0.1, 8});
+  t.record_iteration({1, 1, 0.0, 4.0, 20.0, 0.7, 8});
+  return t;
+}
+
+TEST(ExecutionTraceTest, SpanBusyIdle) {
+  const auto t = two_proc_trace();
+  EXPECT_EQ(t.processor_count(), 2u);
+  EXPECT_DOUBLE_EQ(t.span(), 4.0);
+  EXPECT_DOUBLE_EQ(t.busy_time(0), 3.0);
+  EXPECT_DOUBLE_EQ(t.busy_time(1), 4.0);
+  EXPECT_DOUBLE_EQ(t.idle_time(0), 1.0);
+  EXPECT_DOUBLE_EQ(t.idle_fraction(0), 0.25);
+  EXPECT_DOUBLE_EQ(t.idle_fraction(1), 0.0);
+  EXPECT_DOUBLE_EQ(t.mean_idle_fraction(), 0.125);
+  EXPECT_EQ(t.iteration_count(0), 2u);
+  EXPECT_EQ(t.iteration_count(1), 1u);
+}
+
+TEST(ExecutionTraceTest, EmptyTraceIsSafe) {
+  ExecutionTrace t;
+  EXPECT_DOUBLE_EQ(t.span(), 0.0);
+  EXPECT_DOUBLE_EQ(t.mean_idle_fraction(), 0.0);
+}
+
+TEST(ExecutionTraceTest, RejectsInvertedIntervals) {
+  ExecutionTrace t;
+  EXPECT_THROW(t.record_iteration({0, 1, 2.0, 1.0, 0.0, 0.0, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(t.record_message({0, 1, 2.0, 1.0, 10, MessageKind::kControl}),
+               std::invalid_argument);
+}
+
+TEST(ExecutionTraceTest, MessagesAndMigrationsRecorded) {
+  ExecutionTrace t;
+  t.record_message({0, 1, 1.0, 1.5, 100, MessageKind::kBoundaryData});
+  t.record_message({1, 0, 2.0, 2.7, 400, MessageKind::kLoadBalance});
+  t.record_migration({1, 0, 2.0, 5});
+  EXPECT_EQ(t.messages().size(), 2u);
+  EXPECT_EQ(t.migrations().size(), 1u);
+  EXPECT_EQ(t.processor_count(), 2u);
+}
+
+TEST(ExecutionTraceTest, CsvOutputs) {
+  const auto t = two_proc_trace();
+  std::ostringstream iterations;
+  t.write_iterations_csv(iterations);
+  EXPECT_NE(iterations.str().find("rank,iteration,start,end"),
+            std::string::npos);
+  EXPECT_NE(iterations.str().find("0,1,0,2,10,0.5,8"), std::string::npos);
+
+  ExecutionTrace m;
+  m.record_message({0, 1, 1.0, 1.5, 100, MessageKind::kBoundaryData});
+  std::ostringstream messages;
+  m.write_messages_csv(messages);
+  EXPECT_NE(messages.str().find("0,1,1,1.5,100,data"), std::string::npos);
+}
+
+TEST(ExecutionTraceTest, AsciiGanttShowsBusyAndIdle) {
+  const auto t = two_proc_trace();
+  std::ostringstream out;
+  t.write_ascii_gantt(out, 40);
+  const std::string gantt = out.str();
+  EXPECT_NE(gantt.find("P0"), std::string::npos);
+  EXPECT_NE(gantt.find("P1"), std::string::npos);
+  EXPECT_NE(gantt.find('#'), std::string::npos);
+  EXPECT_NE(gantt.find('.'), std::string::npos);  // P0 has an idle gap
+}
+
+TEST(MessageKindTest, Names) {
+  EXPECT_EQ(to_string(MessageKind::kBoundaryData), "data");
+  EXPECT_EQ(to_string(MessageKind::kLoadBalance), "lb");
+  EXPECT_EQ(to_string(MessageKind::kControl), "control");
+}
+
+}  // namespace
