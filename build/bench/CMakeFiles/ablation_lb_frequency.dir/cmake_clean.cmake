@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lb_frequency.dir/ablation_lb_frequency.cpp.o"
+  "CMakeFiles/ablation_lb_frequency.dir/ablation_lb_frequency.cpp.o.d"
+  "ablation_lb_frequency"
+  "ablation_lb_frequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lb_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_memory_pressure.dir/ablation_memory_pressure.cpp.o"
+  "CMakeFiles/ablation_memory_pressure.dir/ablation_memory_pressure.cpp.o.d"
+  "ablation_memory_pressure"
+  "ablation_memory_pressure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_memory_pressure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_solve_mode.dir/ablation_solve_mode.cpp.o"
+  "CMakeFiles/ablation_solve_mode.dir/ablation_solve_mode.cpp.o.d"
+  "ablation_solve_mode"
+  "ablation_solve_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_solve_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_workload_evolution.dir/ablation_workload_evolution.cpp.o"
+  "CMakeFiles/ablation_workload_evolution.dir/ablation_workload_evolution.cpp.o.d"
+  "ablation_workload_evolution"
+  "ablation_workload_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_workload_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

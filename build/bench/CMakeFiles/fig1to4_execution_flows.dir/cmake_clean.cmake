@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1to4_execution_flows.dir/fig1to4_execution_flows.cpp.o"
+  "CMakeFiles/fig1to4_execution_flows.dir/fig1to4_execution_flows.cpp.o.d"
+  "fig1to4_execution_flows"
+  "fig1to4_execution_flows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1to4_execution_flows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig1to4_execution_flows.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_heterogeneous_grid.dir/table1_heterogeneous_grid.cpp.o"
+  "CMakeFiles/table1_heterogeneous_grid.dir/table1_heterogeneous_grid.cpp.o.d"
+  "table1_heterogeneous_grid"
+  "table1_heterogeneous_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_heterogeneous_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterogeneous_grid.dir/heterogeneous_grid.cpp.o"
+  "CMakeFiles/heterogeneous_grid.dir/heterogeneous_grid.cpp.o.d"
+  "heterogeneous_grid"
+  "heterogeneous_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterogeneous_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

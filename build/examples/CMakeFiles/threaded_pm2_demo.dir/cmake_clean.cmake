@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threaded_pm2_demo.dir/threaded_pm2_demo.cpp.o"
+  "CMakeFiles/threaded_pm2_demo.dir/threaded_pm2_demo.cpp.o.d"
+  "threaded_pm2_demo"
+  "threaded_pm2_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threaded_pm2_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_core.dir/sim_engine.cpp.o"
+  "CMakeFiles/repro_core.dir/sim_engine.cpp.o.d"
+  "CMakeFiles/repro_core.dir/thread_engine.cpp.o"
+  "CMakeFiles/repro_core.dir/thread_engine.cpp.o.d"
+  "librepro_core.a"
+  "librepro_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_des.dir/simulator.cpp.o"
+  "CMakeFiles/repro_des.dir/simulator.cpp.o.d"
+  "librepro_des.a"
+  "librepro_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grid/grid.cpp" "src/grid/CMakeFiles/repro_grid.dir/grid.cpp.o" "gcc" "src/grid/CMakeFiles/repro_grid.dir/grid.cpp.o.d"
+  "/root/repo/src/grid/machine.cpp" "src/grid/CMakeFiles/repro_grid.dir/machine.cpp.o" "gcc" "src/grid/CMakeFiles/repro_grid.dir/machine.cpp.o.d"
+  "/root/repo/src/grid/network.cpp" "src/grid/CMakeFiles/repro_grid.dir/network.cpp.o" "gcc" "src/grid/CMakeFiles/repro_grid.dir/network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/des/CMakeFiles/repro_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

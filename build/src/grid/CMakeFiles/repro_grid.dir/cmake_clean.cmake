@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_grid.dir/grid.cpp.o"
+  "CMakeFiles/repro_grid.dir/grid.cpp.o.d"
+  "CMakeFiles/repro_grid.dir/machine.cpp.o"
+  "CMakeFiles/repro_grid.dir/machine.cpp.o.d"
+  "CMakeFiles/repro_grid.dir/network.cpp.o"
+  "CMakeFiles/repro_grid.dir/network.cpp.o.d"
+  "librepro_grid.a"
+  "librepro_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lb/balancer.cpp" "src/lb/CMakeFiles/repro_lb.dir/balancer.cpp.o" "gcc" "src/lb/CMakeFiles/repro_lb.dir/balancer.cpp.o.d"
+  "/root/repo/src/lb/estimators.cpp" "src/lb/CMakeFiles/repro_lb.dir/estimators.cpp.o" "gcc" "src/lb/CMakeFiles/repro_lb.dir/estimators.cpp.o.d"
+  "/root/repo/src/lb/iterative_schemes.cpp" "src/lb/CMakeFiles/repro_lb.dir/iterative_schemes.cpp.o" "gcc" "src/lb/CMakeFiles/repro_lb.dir/iterative_schemes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_lb.dir/balancer.cpp.o"
+  "CMakeFiles/repro_lb.dir/balancer.cpp.o.d"
+  "CMakeFiles/repro_lb.dir/estimators.cpp.o"
+  "CMakeFiles/repro_lb.dir/estimators.cpp.o.d"
+  "CMakeFiles/repro_lb.dir/iterative_schemes.cpp.o"
+  "CMakeFiles/repro_lb.dir/iterative_schemes.cpp.o.d"
+  "librepro_lb.a"
+  "librepro_lb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

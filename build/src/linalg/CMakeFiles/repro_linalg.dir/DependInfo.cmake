@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/banded_matrix.cpp" "src/linalg/CMakeFiles/repro_linalg.dir/banded_matrix.cpp.o" "gcc" "src/linalg/CMakeFiles/repro_linalg.dir/banded_matrix.cpp.o.d"
+  "/root/repo/src/linalg/csr_matrix.cpp" "src/linalg/CMakeFiles/repro_linalg.dir/csr_matrix.cpp.o" "gcc" "src/linalg/CMakeFiles/repro_linalg.dir/csr_matrix.cpp.o.d"
+  "/root/repo/src/linalg/dense_matrix.cpp" "src/linalg/CMakeFiles/repro_linalg.dir/dense_matrix.cpp.o" "gcc" "src/linalg/CMakeFiles/repro_linalg.dir/dense_matrix.cpp.o.d"
+  "/root/repo/src/linalg/stationary.cpp" "src/linalg/CMakeFiles/repro_linalg.dir/stationary.cpp.o" "gcc" "src/linalg/CMakeFiles/repro_linalg.dir/stationary.cpp.o.d"
+  "/root/repo/src/linalg/vector_ops.cpp" "src/linalg/CMakeFiles/repro_linalg.dir/vector_ops.cpp.o" "gcc" "src/linalg/CMakeFiles/repro_linalg.dir/vector_ops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

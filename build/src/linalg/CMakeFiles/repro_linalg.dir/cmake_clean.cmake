@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_linalg.dir/banded_matrix.cpp.o"
+  "CMakeFiles/repro_linalg.dir/banded_matrix.cpp.o.d"
+  "CMakeFiles/repro_linalg.dir/csr_matrix.cpp.o"
+  "CMakeFiles/repro_linalg.dir/csr_matrix.cpp.o.d"
+  "CMakeFiles/repro_linalg.dir/dense_matrix.cpp.o"
+  "CMakeFiles/repro_linalg.dir/dense_matrix.cpp.o.d"
+  "CMakeFiles/repro_linalg.dir/stationary.cpp.o"
+  "CMakeFiles/repro_linalg.dir/stationary.cpp.o.d"
+  "CMakeFiles/repro_linalg.dir/vector_ops.cpp.o"
+  "CMakeFiles/repro_linalg.dir/vector_ops.cpp.o.d"
+  "librepro_linalg.a"
+  "librepro_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

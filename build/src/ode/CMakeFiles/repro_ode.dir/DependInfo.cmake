@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ode/brusselator.cpp" "src/ode/CMakeFiles/repro_ode.dir/brusselator.cpp.o" "gcc" "src/ode/CMakeFiles/repro_ode.dir/brusselator.cpp.o.d"
+  "/root/repo/src/ode/fisher_kpp.cpp" "src/ode/CMakeFiles/repro_ode.dir/fisher_kpp.cpp.o" "gcc" "src/ode/CMakeFiles/repro_ode.dir/fisher_kpp.cpp.o.d"
+  "/root/repo/src/ode/integrators.cpp" "src/ode/CMakeFiles/repro_ode.dir/integrators.cpp.o" "gcc" "src/ode/CMakeFiles/repro_ode.dir/integrators.cpp.o.d"
+  "/root/repo/src/ode/linear_diffusion.cpp" "src/ode/CMakeFiles/repro_ode.dir/linear_diffusion.cpp.o" "gcc" "src/ode/CMakeFiles/repro_ode.dir/linear_diffusion.cpp.o.d"
+  "/root/repo/src/ode/newton.cpp" "src/ode/CMakeFiles/repro_ode.dir/newton.cpp.o" "gcc" "src/ode/CMakeFiles/repro_ode.dir/newton.cpp.o.d"
+  "/root/repo/src/ode/ode_system.cpp" "src/ode/CMakeFiles/repro_ode.dir/ode_system.cpp.o" "gcc" "src/ode/CMakeFiles/repro_ode.dir/ode_system.cpp.o.d"
+  "/root/repo/src/ode/trajectory.cpp" "src/ode/CMakeFiles/repro_ode.dir/trajectory.cpp.o" "gcc" "src/ode/CMakeFiles/repro_ode.dir/trajectory.cpp.o.d"
+  "/root/repo/src/ode/waveform.cpp" "src/ode/CMakeFiles/repro_ode.dir/waveform.cpp.o" "gcc" "src/ode/CMakeFiles/repro_ode.dir/waveform.cpp.o.d"
+  "/root/repo/src/ode/waveform_block.cpp" "src/ode/CMakeFiles/repro_ode.dir/waveform_block.cpp.o" "gcc" "src/ode/CMakeFiles/repro_ode.dir/waveform_block.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/repro_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_ode.dir/brusselator.cpp.o"
+  "CMakeFiles/repro_ode.dir/brusselator.cpp.o.d"
+  "CMakeFiles/repro_ode.dir/fisher_kpp.cpp.o"
+  "CMakeFiles/repro_ode.dir/fisher_kpp.cpp.o.d"
+  "CMakeFiles/repro_ode.dir/integrators.cpp.o"
+  "CMakeFiles/repro_ode.dir/integrators.cpp.o.d"
+  "CMakeFiles/repro_ode.dir/linear_diffusion.cpp.o"
+  "CMakeFiles/repro_ode.dir/linear_diffusion.cpp.o.d"
+  "CMakeFiles/repro_ode.dir/newton.cpp.o"
+  "CMakeFiles/repro_ode.dir/newton.cpp.o.d"
+  "CMakeFiles/repro_ode.dir/ode_system.cpp.o"
+  "CMakeFiles/repro_ode.dir/ode_system.cpp.o.d"
+  "CMakeFiles/repro_ode.dir/trajectory.cpp.o"
+  "CMakeFiles/repro_ode.dir/trajectory.cpp.o.d"
+  "CMakeFiles/repro_ode.dir/waveform.cpp.o"
+  "CMakeFiles/repro_ode.dir/waveform.cpp.o.d"
+  "CMakeFiles/repro_ode.dir/waveform_block.cpp.o"
+  "CMakeFiles/repro_ode.dir/waveform_block.cpp.o.d"
+  "librepro_ode.a"
+  "librepro_ode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_ode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_trace.dir/execution_trace.cpp.o"
+  "CMakeFiles/repro_trace.dir/execution_trace.cpp.o.d"
+  "librepro_trace.a"
+  "librepro_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_detection_and_memory.dir/test_detection_and_memory.cpp.o"
+  "CMakeFiles/test_detection_and_memory.dir/test_detection_and_memory.cpp.o.d"
+  "test_detection_and_memory"
+  "test_detection_and_memory.pdb"
+  "test_detection_and_memory[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_detection_and_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

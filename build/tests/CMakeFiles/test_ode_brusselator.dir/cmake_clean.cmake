@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ode_brusselator.dir/test_ode_brusselator.cpp.o"
+  "CMakeFiles/test_ode_brusselator.dir/test_ode_brusselator.cpp.o.d"
+  "test_ode_brusselator"
+  "test_ode_brusselator.pdb"
+  "test_ode_brusselator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ode_brusselator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ode_fisher.dir/test_ode_fisher.cpp.o"
+  "CMakeFiles/test_ode_fisher.dir/test_ode_fisher.cpp.o.d"
+  "test_ode_fisher"
+  "test_ode_fisher.pdb"
+  "test_ode_fisher[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ode_fisher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ode_linear_diffusion.dir/test_ode_linear_diffusion.cpp.o"
+  "CMakeFiles/test_ode_linear_diffusion.dir/test_ode_linear_diffusion.cpp.o.d"
+  "test_ode_linear_diffusion"
+  "test_ode_linear_diffusion.pdb"
+  "test_ode_linear_diffusion[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ode_linear_diffusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_ode_linear_diffusion.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ode_newton.dir/test_ode_newton.cpp.o"
+  "CMakeFiles/test_ode_newton.dir/test_ode_newton.cpp.o.d"
+  "test_ode_newton"
+  "test_ode_newton.pdb"
+  "test_ode_newton[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ode_newton.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

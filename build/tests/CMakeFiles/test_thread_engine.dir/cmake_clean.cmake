@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_thread_engine.dir/test_thread_engine.cpp.o"
+  "CMakeFiles/test_thread_engine.dir/test_thread_engine.cpp.o.d"
+  "test_thread_engine"
+  "test_thread_engine.pdb"
+  "test_thread_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_thread_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

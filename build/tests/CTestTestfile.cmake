@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_linalg[1]_include.cmake")
+include("/root/repo/build/tests/test_des[1]_include.cmake")
+include("/root/repo/build/tests/test_grid[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_lb[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_ode_brusselator[1]_include.cmake")
+include("/root/repo/build/tests/test_ode_linear_diffusion[1]_include.cmake")
+include("/root/repo/build/tests/test_ode_fisher[1]_include.cmake")
+include("/root/repo/build/tests/test_detection_and_memory[1]_include.cmake")
+include("/root/repo/build/tests/test_ode_newton[1]_include.cmake")
+include("/root/repo/build/tests/test_ode_waveform[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_thread_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_end_to_end[1]_include.cmake")
+include("/root/repo/build/tests/test_misc_coverage[1]_include.cmake")
