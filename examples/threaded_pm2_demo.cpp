@@ -5,11 +5,19 @@
 // the computed solution.
 //
 //   ./build/examples/threaded_pm2_demo --threads=4
+//
+// Pass --chaos to run the same algorithms under the fault-injection
+// layer (delayed/stale boundary messages, migration jitter, compute
+// stalls, skewed balancing triggers) and watch the solution stay pinned:
+//
+//   ./build/examples/threaded_pm2_demo --threads=4 --chaos \
+//       --chaos-intensity=2 --chaos-seed=7
 #include <iostream>
 
 #include "core/thread_engine.hpp"
 #include "ode/brusselator.hpp"
 #include "ode/waveform.hpp"
+#include "runtime/fault_injector.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -18,6 +26,7 @@ int main(int argc, char** argv) {
   util::CliParser cli("PM2-like threaded backend demo");
   cli.describe("threads", "worker threads (virtual processors)", "4");
   cli.describe("grid-points", "Brusselator grid points", "48");
+  runtime::describe_chaos_cli(cli);
   try {
     cli.parse(argc, argv);
   } catch (const std::exception& e) {
@@ -43,6 +52,7 @@ int main(int argc, char** argv) {
   config.balancer.trigger_period = 3;
   config.balancer.threshold_ratio = 1.5;
   config.balancer.min_components = 3;
+  config.faults = runtime::fault_config_from_cli(cli);
 
   // Sequential reference for validation.
   ode::WaveformOptions ref_opts;
@@ -57,7 +67,7 @@ int main(int argc, char** argv) {
                     "speedups expected — this demonstrates correctness "
                     "under real asynchronism)");
   table.set_header({"scheme", "wall time (s)", "iterations", "migrations",
-                    "max error vs reference"});
+                    "faults", "max error vs reference"});
   for (const auto scheme : {core::Scheme::kSISC, core::Scheme::kAIAC}) {
     config.scheme = scheme;
     const auto result = core::run_threaded(system, threads, config);
@@ -69,6 +79,7 @@ int main(int argc, char** argv) {
         {core::to_string(scheme), util::Table::num(result.execution_time, 3),
          std::to_string(result.total_iterations),
          std::to_string(result.migrations),
+         std::to_string(result.faults_injected),
          util::Table::num(
              result.solution.max_abs_diff(reference.trajectory), 10)});
   }

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# CI pipeline: tier-1 (plain Release, full suite), then ThreadSanitizer and
+# AddressSanitizer+UBSan jobs over the runtime/chaos-labelled tests.
+#
+#   scripts/ci.sh            # everything
+#   scripts/ci.sh tier1      # just the plain build + full ctest
+#   scripts/ci.sh tsan       # just the TSan job
+#   scripts/ci.sh asan       # just the ASan+UBSan job
+#
+# The sanitizer jobs run a reduced chaos sweep (AIAC_CHAOS_SEEDS): the
+# instrumented builds are ~10x slower and the 200-seed property sweep
+# already runs at full strength in tier-1.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc)
+stage="${1:-all}"
+
+tier1() {
+  echo "==> tier-1: Release build + full test suite"
+  cmake -B build -S . >/dev/null
+  cmake --build build -j"$jobs"
+  ctest --test-dir build --output-on-failure -j"$jobs"
+}
+
+tsan() {
+  echo "==> TSan: runtime + chaos labelled tests"
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Tsan >/dev/null
+  cmake --build build-tsan -j"$jobs"
+  AIAC_CHAOS_SEEDS="${AIAC_CHAOS_SEEDS:-25}" TSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir build-tsan -L 'chaos|runtime' --output-on-failure
+}
+
+asan() {
+  echo "==> ASan+UBSan: runtime + chaos labelled tests"
+  cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Asan >/dev/null
+  cmake --build build-asan -j"$jobs"
+  AIAC_CHAOS_SEEDS="${AIAC_CHAOS_SEEDS:-25}" \
+  ASAN_OPTIONS="detect_leaks=1" UBSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir build-asan -L 'chaos|runtime' --output-on-failure
+}
+
+case "$stage" in
+  tier1) tier1 ;;
+  tsan) tsan ;;
+  asan) asan ;;
+  all) tier1; tsan; asan ;;
+  *) echo "unknown stage: $stage (tier1|tsan|asan|all)" >&2; exit 2 ;;
+esac
+echo "==> ci: all requested stages green"

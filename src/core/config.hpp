@@ -11,6 +11,7 @@
 #include "ode/newton.hpp"
 #include "ode/trajectory.hpp"
 #include "ode/waveform_block.hpp"
+#include "runtime/fault_injector.hpp"
 
 namespace aiac::core {
 
@@ -96,6 +97,12 @@ struct EngineConfig {
   /// busy-looking execution flow).
   bool event_driven_idle = true;
 
+  // Fault injection (threaded backend only; the virtual-time engine's
+  // perturbations come from its grid model instead). Off by default, in
+  // which case the engine is bit-identical to a build without the chaos
+  // layer. See runtime/fault_injector.hpp and DESIGN.md "Fault model".
+  runtime::FaultConfig faults = {};
+
   // Convergence detection.
   DetectionMode detection = DetectionMode::kOracle;
   /// Consecutive under-tolerance iterations before a node reports local
@@ -124,6 +131,20 @@ struct EngineResult {
   std::size_t components_migrated = 0;
 
   double final_max_residual = 0.0;
+
+  /// Chaos-layer events injected during the run (0 when disabled).
+  std::size_t faults_injected = 0;
+  /// Paper invariant instrumentation (threaded backend): smallest owned
+  /// component count any processor ever held — after every iteration and,
+  /// crucially, immediately after every migration extraction. The famine
+  /// guard demands this never drops below the engine's minimum keep.
+  std::size_t min_components_observed = 0;
+  /// Detection audit (threaded backend, converged runs): the maximum
+  /// interface gap and per-processor residual re-read at the instant the
+  /// halt decision was taken, with every block lock held. Both must be
+  /// within tolerance or detection fired early. -1 when not converged.
+  double detection_gap = -1.0;
+  double detection_max_residual = -1.0;
 };
 
 }  // namespace aiac::core

@@ -1,7 +1,9 @@
 #include "core/thread_engine.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <thread>
 #include <cmath>
 #include <limits>
 #include <memory>
@@ -14,9 +16,11 @@
 #include "lb/iterative_schemes.hpp"
 #include "ode/waveform.hpp"
 #include "ode/waveform_block.hpp"
+#include "runtime/fault_injector.hpp"
 #include "runtime/mailbox.hpp"
 #include "runtime/notifier.hpp"
 #include "runtime/thread_team.hpp"
+#include "trace/execution_trace.hpp"
 #include "util/log.hpp"
 
 namespace aiac::core {
@@ -53,13 +57,20 @@ struct ThreadProc {
   std::size_t migrations_out = 0;
   std::size_t components_out = 0;
   std::size_t bytes_out = 0;
+
+  // Famine-guard instrumentation: smallest owned count this processor
+  // ever held, sampled after every iteration and right after every
+  // migration extraction (the only operations that shrink it).
+  std::size_t min_components_seen = 0;
+  // Chaos layer (null when disabled): compute stalls + LB-trigger skew.
+  runtime::FaultPlan* fault_plan = nullptr;
 };
 
 class ThreadEngine {
  public:
   ThreadEngine(const ode::OdeSystem& system, std::size_t processors,
-               const EngineConfig& config)
-      : system_(system), config_(config), nprocs_(processors) {
+               const EngineConfig& config, trace::ExecutionTrace* trace)
+      : system_(system), config_(config), nprocs_(processors), trace_(trace) {
     if (processors == 0)
       throw std::invalid_argument("run_threaded: zero processors");
     estimator_ = lb::make_estimator(config.estimator);
@@ -83,10 +94,41 @@ class ThreadEngine {
       bc.receive_filter = config.tolerance * config.receive_filter_factor;
       procs_[p].block = std::make_unique<ode::WaveformBlock>(system, bc);
       procs_[p].ok_to_try_lb = config.balancer.trigger_period;
+      procs_[p].min_components_seen = bc.count;
     }
     lb_link_busy_ =
         std::make_unique<std::atomic<bool>[]>(processors > 0 ? processors : 1);
     for (std::size_t i = 0; i + 1 < processors; ++i) lb_link_busy_[i] = false;
+
+    if (config.faults.enabled) {
+      injector_ =
+          std::make_unique<runtime::FaultInjector>(config.faults, processors);
+      if (config.scheme != Scheme::kAIAC) {
+        // SISC/SIAC block until the neighbor's iteration-k data arrived;
+        // replaying a stale boundary slot would erase the only copy of
+        // that data and livelock both ends of the link (the synchronous
+        // schemes assume reliable FIFO delivery — see DESIGN.md).
+        injector_->disable_stale_replay();
+      }
+      using Dir = runtime::FaultInjector::Direction;
+      for (std::size_t p = 0; p < processors; ++p) {
+        procs_[p].fault_plan = injector_->compute_plan(p);
+        // A box's hook runs in the pushing thread, so each box gets the
+        // plan of the directed channel feeding it.
+        if (p > 0) {
+          procs_[p].from_left.set_fault_hook(
+              injector_->boundary_plan(p - 1, Dir::kToRight));
+          procs_[p].lb_from_left.set_fault_hook(
+              injector_->lb_plan(p - 1, Dir::kToRight));
+        }
+        if (p + 1 < processors) {
+          procs_[p].from_right.set_fault_hook(
+              injector_->boundary_plan(p + 1, Dir::kToLeft));
+          procs_[p].lb_from_right.set_fault_hook(
+              injector_->lb_plan(p + 1, Dir::kToLeft));
+        }
+      }
+    }
   }
 
   EngineResult run() {
@@ -125,6 +167,26 @@ class ThreadEngine {
         result.final_max_residual = std::max(result.final_max_residual, r);
     }
     result.lb_messages = result.migrations;
+    result.min_components_observed = procs_.empty() ? 0 : SIZE_MAX;
+    for (auto& proc : procs_)
+      result.min_components_observed =
+          std::min(result.min_components_observed, proc.min_components_seen);
+    result.detection_gap = detection_gap_;
+    result.detection_max_residual = detection_max_residual_;
+    if (injector_) {
+      result.faults_injected = injector_->log().total();
+      if (trace_) {
+        for (const auto& event : injector_->log().snapshot()) {
+          trace::FaultRecord record;
+          record.source = event.source;
+          record.time = event.time;
+          record.kind = runtime::to_string(event.kind);
+          record.magnitude = event.magnitude;
+          record.sequence = event.sequence;
+          trace_->record_fault(std::move(record));
+        }
+      }
+    }
     return result;
   }
 
@@ -132,6 +194,12 @@ class ThreadEngine {
   void worker(std::size_t p) {
     ThreadProc& proc = procs_[p];
     while (!halt_.load(std::memory_order_acquire)) {
+      if (proc.fault_plan) {
+        // Transient slow-node stall, served at the iteration boundary
+        // where a real machine would lose the core to a competing job.
+        const auto stall = proc.fault_plan->compute_stall();
+        if (stall.count() > 0) std::this_thread::sleep_for(stall);
+      }
       bool external_input = false;
       ode::WaveformBlock::IterationStats stats;
       ode::BoundaryMessage out_left;
@@ -147,6 +215,8 @@ class ThreadEngine {
         if (p > 0) out_left = proc.block->boundary_for_left();
         if (p + 1 < nprocs_) out_right = proc.block->boundary_for_right();
       }
+      proc.min_components_seen =
+          std::min(proc.min_components_seen, proc.block->count());
       proc.last_iteration_work = stats.work;
       proc.total_work += stats.work;
       proc.iteration.fetch_add(1);
@@ -251,6 +321,17 @@ class ThreadEngine {
       --proc.ok_to_try_lb;
       return;
     }
+    if (proc.fault_plan) {
+      // Trigger skew: postpone an elapsed OkToTryLB countdown by a few
+      // iterations. Neighbors fall out of phase, so decisions act on
+      // piggybacked load estimates that lag reality by more iterations —
+      // exactly the staleness the balancer must tolerate.
+      const std::size_t skew = proc.fault_plan->lb_trigger_skew();
+      if (skew > 0) {
+        proc.ok_to_try_lb = skew;
+        return;
+      }
+    }
     lb::BalanceView view;
     view.my_load = proc.load.load();
     view.my_components = proc.block->count();
@@ -284,6 +365,10 @@ class ThreadEngine {
         payload = to_left ? proc.block->extract_for_left(amount)
                           : proc.block->extract_for_right(amount);
       }
+      // Sample the famine invariant at its tightest point: immediately
+      // after the extraction, before the payload is even sent.
+      proc.min_components_seen =
+          std::min(proc.min_components_seen, proc.block->count());
     }
     if (!payload) {
       lb_link_busy_[link].store(false);
@@ -315,11 +400,21 @@ class ThreadEngine {
     locks.reserve(nprocs_);
     for (auto& proc : procs_)
       locks.emplace_back(proc.block_mutex);
+    double max_gap = 0.0;
     for (std::size_t pi = 0; pi + 1 < nprocs_; ++pi) {
-      if (procs_[pi].block->interface_gap_with_right(*procs_[pi + 1].block) >
-          config_.tolerance)
-        return;
+      const double gap =
+          procs_[pi].block->interface_gap_with_right(*procs_[pi + 1].block);
+      if (gap > config_.tolerance) return;
+      max_gap = std::max(max_gap, gap);
     }
+    // Audit trail for the no-early-detection invariant: record exactly
+    // what the protocol verified at the instant it decided to halt (all
+    // block locks held, so no iteration is concurrently mutating state).
+    detection_gap_ = max_gap;
+    detection_max_residual_ = 0.0;
+    for (const auto& proc : procs_)
+      detection_max_residual_ =
+          std::max(detection_max_residual_, proc.residual.load());
     halt_.store(true, std::memory_order_release);
     locks.clear();
     wake_all();
@@ -330,15 +425,23 @@ class ThreadEngine {
     const bool no_progress =
         stats.residual == 0.0 && stats.newton_iterations == 0;
     if (!no_progress) return;
-    if (p != 0) {
-      // Sleep until a message arrives (event-driven idling; rank 0 keeps
-      // polling because it runs the detection).
-      proc.notifier.wait_for(std::chrono::milliseconds(2), [&] {
-        return halt_.load() || proc.from_left.has_value() ||
-               proc.from_right.has_value() || !proc.lb_from_left.empty() ||
-               !proc.lb_from_right.empty();
-      });
-    }
+    // Sleep until a message arrives or the bounded timeout fires.
+    //
+    // Drain-then-sleep audit (see tests/test_runtime_stress.cpp for the
+    // regression hammer): this check-empty-then-wait sequence cannot lose
+    // a wakeup because the predicate is re-evaluated under the Notifier's
+    // mutex and every push commits its value *before* notifying — a push
+    // landing between the drain and the wait is either seen by the
+    // predicate or wakes the wait. Rank 0 also runs the convergence
+    // detection, so its wait stays bounded (it must keep polling global
+    // state its own notifier is never poked for); an unbounded spin here
+    // used to starve the workers on a single-core host.
+    (void)p;
+    proc.notifier.wait_for(std::chrono::milliseconds(2), [&] {
+      return halt_.load() || proc.from_left.has_value() ||
+             proc.from_right.has_value() || !proc.lb_from_left.empty() ||
+             !proc.lb_from_right.empty();
+    });
   }
 
   void wait_for_neighbor_data(std::size_t p, ThreadProc& proc) {
@@ -371,8 +474,14 @@ class ThreadEngine {
   std::size_t min_keep_ = 0;
   std::vector<ThreadProc> procs_;
   std::unique_ptr<std::atomic<bool>[]> lb_link_busy_;
+  std::unique_ptr<runtime::FaultInjector> injector_;
+  trace::ExecutionTrace* trace_ = nullptr;
   std::atomic<bool> halt_{false};
   std::atomic<bool> failed_{false};
+  // Written once by rank 0 (in leader_detection, pre-halt), read after
+  // join; -1 marks "never converged".
+  double detection_gap_ = -1.0;
+  double detection_max_residual_ = -1.0;
 
   void wake_all() {
     for (auto& proc : procs_) proc.notifier.notify();
@@ -382,9 +491,9 @@ class ThreadEngine {
 }  // namespace
 
 EngineResult run_threaded(const ode::OdeSystem& system,
-                          std::size_t processors,
-                          const EngineConfig& config) {
-  ThreadEngine engine(system, processors, config);
+                          std::size_t processors, const EngineConfig& config,
+                          trace::ExecutionTrace* trace) {
+  ThreadEngine engine(system, processors, config, trace);
   return engine.run();
 }
 

@@ -21,6 +21,7 @@
 
 #include "core/config.hpp"
 #include "ode/ode_system.hpp"
+#include "trace/execution_trace.hpp"
 
 namespace aiac::core {
 
@@ -28,8 +29,12 @@ namespace aiac::core {
 /// in the result is wall-clock seconds. Timing-model fields of the config
 /// (iteration_overhead_work, early_send_fraction, detection) are ignored;
 /// detection is always the coordinator protocol with interface
-/// verification.
+/// verification. When `config.faults.enabled`, the chaos layer perturbs
+/// deliveries/compute per the seeded fault plans; if `trace` is non-null,
+/// every injected fault is appended to it so the perturbed run stays
+/// explainable.
 EngineResult run_threaded(const ode::OdeSystem& system,
-                          std::size_t processors, const EngineConfig& config);
+                          std::size_t processors, const EngineConfig& config,
+                          trace::ExecutionTrace* trace = nullptr);
 
 }  // namespace aiac::core

@@ -1,0 +1,210 @@
+#include "runtime/fault_injector.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/cli.hpp"
+
+namespace aiac::runtime {
+
+namespace {
+
+double clamp01(double p) { return std::clamp(p, 0.0, 1.0); }
+
+std::chrono::microseconds ms_to_us(double ms) {
+  return std::chrono::microseconds(
+      static_cast<std::int64_t>(std::max(ms, 0.0) * 1000.0));
+}
+
+}  // namespace
+
+std::string to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDeliveryDelay: return "delivery-delay";
+    case FaultKind::kStaleReplay: return "stale-replay";
+    case FaultKind::kMailboxJitter: return "mailbox-jitter";
+    case FaultKind::kComputeStall: return "compute-stall";
+    case FaultKind::kLbTriggerSkew: return "lb-trigger-skew";
+  }
+  return "unknown";
+}
+
+FaultConfig FaultConfig::resolved() const {
+  FaultConfig r = *this;
+  const double f = std::max(intensity, 0.0);
+  r.intensity = 1.0;
+  r.delay_probability = clamp01(delay_probability * f);
+  r.stale_replay_probability = clamp01(stale_replay_probability * f);
+  r.mailbox_jitter_probability = clamp01(mailbox_jitter_probability * f);
+  r.stall_probability = clamp01(stall_probability * f);
+  r.lb_skew_probability = clamp01(lb_skew_probability * f);
+  // Magnitudes grow with intensity past 1 (a harsher grid, not just a
+  // more frequent one) but are never shrunk below the configured bounds.
+  const double m = std::max(f, 1.0);
+  r.max_delay_ms = max_delay_ms * m;
+  r.max_mailbox_jitter_ms = max_mailbox_jitter_ms * m;
+  r.max_stall_ms = max_stall_ms * m;
+  if (f == 0.0) r.enabled = false;
+  return r;
+}
+
+void FaultLog::record(FaultKind kind, std::size_t source, double magnitude) {
+  const double t = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start_)
+                       .count();
+  std::lock_guard<std::mutex> lock(mutex_);
+  FaultEvent event;
+  event.kind = kind;
+  event.source = source;
+  event.sequence = events_.size();
+  event.magnitude = magnitude;
+  event.time = t;
+  events_.push_back(event);
+}
+
+std::vector<FaultEvent> FaultLog::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+std::size_t FaultLog::total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::size_t FaultLog::count(FaultKind kind) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<std::size_t>(
+      std::count_if(events_.begin(), events_.end(),
+                    [&](const FaultEvent& e) { return e.kind == kind; }));
+}
+
+FaultPlan::FaultPlan(const FaultConfig& config, Role role, util::Rng rng,
+                     std::size_t source, FaultLog* log)
+    : config_(config), role_(role), source_(source), log_(log), rng_(rng) {}
+
+ChannelFault FaultPlan::on_deliver() {
+  ChannelFault fault;
+  if (!config_.enabled || role_ == Role::kCompute) return fault;
+  double delay_ms = 0.0;
+  bool replay = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (role_ == Role::kBoundaryChannel) {
+      if (rng_.bernoulli(config_.delay_probability))
+        delay_ms = rng_.uniform(0.0, config_.max_delay_ms);
+      replay = rng_.bernoulli(config_.stale_replay_probability);
+    } else {  // kLbChannel
+      if (rng_.bernoulli(config_.mailbox_jitter_probability))
+        delay_ms = rng_.uniform(0.0, config_.max_mailbox_jitter_ms);
+    }
+  }
+  // Sub-microsecond draws truncate to no delay; only materialized faults
+  // are logged (the log is the ground truth of what was injected).
+  fault.delay = ms_to_us(delay_ms);
+  if (fault.delay.count() > 0) {
+    log_->record(role_ == Role::kBoundaryChannel ? FaultKind::kDeliveryDelay
+                                                 : FaultKind::kMailboxJitter,
+                 source_, delay_ms);
+  }
+  if (replay) {
+    fault.replay_stale = true;
+    log_->record(FaultKind::kStaleReplay, source_, 1.0);
+  }
+  return fault;
+}
+
+std::chrono::microseconds FaultPlan::compute_stall() {
+  if (!config_.enabled || role_ != Role::kCompute)
+    return std::chrono::microseconds(0);
+  double stall_ms = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (rng_.bernoulli(config_.stall_probability))
+      stall_ms = rng_.uniform(0.0, config_.max_stall_ms);
+  }
+  const auto stall = ms_to_us(stall_ms);
+  if (stall.count() > 0) log_->record(FaultKind::kComputeStall, source_, stall_ms);
+  return stall;
+}
+
+std::size_t FaultPlan::lb_trigger_skew() {
+  if (!config_.enabled || role_ != Role::kCompute) return 0;
+  std::size_t skew = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (rng_.bernoulli(config_.lb_skew_probability) &&
+        config_.max_lb_skew_iterations > 0)
+      skew = static_cast<std::size_t>(rng_.uniform_int(
+          1, static_cast<std::int64_t>(config_.max_lb_skew_iterations)));
+  }
+  if (skew > 0)
+    log_->record(FaultKind::kLbTriggerSkew, source_,
+                 static_cast<double>(skew));
+  return skew;
+}
+
+void FaultPlan::disable_stale_replay() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  config_.stale_replay_probability = 0.0;
+}
+
+FaultInjector::FaultInjector(const FaultConfig& config, std::size_t ranks)
+    : config_(config.resolved()), ranks_(ranks) {
+  if (ranks == 0)
+    throw std::invalid_argument("FaultInjector: zero ranks");
+  const util::Rng root(config_.seed);
+  const auto make = [&](std::string_view stream, std::size_t index,
+                        FaultPlan::Role role, std::size_t source) {
+    return std::make_unique<FaultPlan>(config_, role,
+                                       root.split(stream).split(index),
+                                       source, &log_);
+  };
+  for (std::size_t r = 0; r < ranks; ++r) {
+    compute_.push_back(make("compute", r, FaultPlan::Role::kCompute, r));
+    boundary_.push_back(
+        make("boundary", 2 * r, FaultPlan::Role::kBoundaryChannel, r));
+    boundary_.push_back(
+        make("boundary", 2 * r + 1, FaultPlan::Role::kBoundaryChannel, r));
+    lb_.push_back(make("lb", 2 * r, FaultPlan::Role::kLbChannel, r));
+    lb_.push_back(make("lb", 2 * r + 1, FaultPlan::Role::kLbChannel, r));
+  }
+}
+
+FaultPlan* FaultInjector::boundary_plan(std::size_t sender,
+                                        Direction direction) {
+  return boundary_
+      .at(2 * sender + (direction == Direction::kToRight ? 1 : 0))
+      .get();
+}
+
+FaultPlan* FaultInjector::lb_plan(std::size_t sender, Direction direction) {
+  return lb_.at(2 * sender + (direction == Direction::kToRight ? 1 : 0))
+      .get();
+}
+
+FaultPlan* FaultInjector::compute_plan(std::size_t rank) {
+  return compute_.at(rank).get();
+}
+
+void FaultInjector::disable_stale_replay() {
+  for (auto& plan : boundary_) plan->disable_stale_replay();
+}
+
+void describe_chaos_cli(util::CliParser& cli) {
+  cli.describe("chaos", "enable the fault-injection chaos layer", "false");
+  cli.describe("chaos-seed", "seed of the fault plans", "42");
+  cli.describe("chaos-intensity",
+               "scales every fault probability and magnitude bound", "1.0");
+}
+
+FaultConfig fault_config_from_cli(const util::CliParser& cli) {
+  FaultConfig config;
+  config.enabled = cli.get_bool("chaos", false);
+  config.seed = static_cast<std::uint64_t>(
+      cli.get_int("chaos-seed", static_cast<std::int64_t>(config.seed)));
+  config.intensity = cli.get_double("chaos-intensity", 1.0);
+  return config;
+}
+
+}  // namespace aiac::runtime

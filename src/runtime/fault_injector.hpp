@@ -1,0 +1,193 @@
+// Deterministic fault injection ("chaos layer") for the threaded backend.
+//
+// The paper's claim is that AIAC plus non-centralized load balancing stays
+// correct under adverse asynchronous conditions — delayed and reordered
+// messages, heterogeneous and fluctuating speeds, out-of-date load
+// estimates. In-process threads on an idle host never produce those
+// conditions on their own, so this subsystem manufactures them, on
+// purpose and reproducibly:
+//
+//  * kDeliveryDelay  — bounded sleep before a boundary SlotBox commit
+//                      (message transit time on a congested link);
+//  * kStaleReplay    — a boundary SlotBox re-delivers the previous value
+//                      after the fresh one (an old in-flight message
+//                      arriving last / duplicate delivery);
+//  * kMailboxJitter  — bounded sleep before a load-balancing Mailbox
+//                      commit (slow migration transfer; FIFO order and
+//                      eventual delivery are preserved — the paper
+//                      assumes reliable links);
+//  * kComputeStall   — bounded sleep at an iteration boundary (transient
+//                      background load on a multi-user machine);
+//  * kLbTriggerSkew  — a node's OkToTryLB countdown is stretched by a few
+//                      iterations (desynchronizes balancing attempts so
+//                      decisions run on staler piggybacked load data).
+//
+// Every decision is drawn from a per-plan util::Rng substream split from
+// one seed, so a plan's decision sequence is a pure function of
+// (seed, plan id) — independent of thread interleaving — and every
+// injected event is recorded in a FaultLog for export into an
+// ExecutionTrace. Disabled injection costs one null-pointer branch per
+// hook site and leaves the engine bit-identical to a build without the
+// subsystem.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "runtime/mailbox.hpp"
+#include "util/rng.hpp"
+
+namespace aiac::util {
+class CliParser;
+}
+
+namespace aiac::runtime {
+
+enum class FaultKind {
+  kDeliveryDelay,
+  kStaleReplay,
+  kMailboxJitter,
+  kComputeStall,
+  kLbTriggerSkew,
+};
+
+std::string to_string(FaultKind kind);
+
+/// One injected event, in injection order.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kDeliveryDelay;
+  /// Owning plan: the injecting rank for compute faults, the *sending*
+  /// rank for channel faults.
+  std::size_t source = 0;
+  std::uint64_t sequence = 0;  // global injection order (interleaving-dependent)
+  /// Milliseconds for delays/jitter/stalls, iterations for trigger skew.
+  double magnitude = 0.0;
+  double time = 0.0;  // seconds since the injector was created
+};
+
+/// Knobs of the chaos layer. Probabilities are per opportunity (per push,
+/// per iteration boundary, per elapsed LB countdown). All magnitudes are
+/// bounded so no fault can stop progress — only slow it down.
+struct FaultConfig {
+  bool enabled = false;
+  std::uint64_t seed = 42;
+  /// Global multiplier applied to every probability (clamped to [0,1])
+  /// and every magnitude bound; the single knob behind `--chaos`.
+  double intensity = 1.0;
+
+  double delay_probability = 0.15;
+  double max_delay_ms = 1.0;
+  double stale_replay_probability = 0.08;
+  double mailbox_jitter_probability = 0.20;
+  double max_mailbox_jitter_ms = 0.5;
+  double stall_probability = 0.05;
+  double max_stall_ms = 2.0;
+  double lb_skew_probability = 0.10;
+  std::size_t max_lb_skew_iterations = 8;
+
+  /// This config with `intensity` folded into the probabilities and
+  /// magnitude bounds (and reset to 1). intensity 0 disables everything.
+  FaultConfig resolved() const;
+};
+
+/// Thread-safe, append-only record of injected events.
+class FaultLog {
+ public:
+  void record(FaultKind kind, std::size_t source, double magnitude);
+  std::vector<FaultEvent> snapshot() const;
+  std::size_t total() const;
+  std::size_t count(FaultKind kind) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<FaultEvent> events_;
+  std::chrono::steady_clock::time_point start_ =
+      std::chrono::steady_clock::now();
+};
+
+/// One deterministic decision stream. A plan serves exactly one role:
+/// either it is installed as the ChannelFaultHook of one directed channel
+/// (boundary slot or LB mailbox), or it is queried by one worker thread
+/// for compute stalls and LB-trigger skew. Decisions are serialized by an
+/// internal mutex, so a plan also tolerates multi-producer channels (the
+/// stress tests hammer this); in the engine each plan has one caller.
+class FaultPlan final : public ChannelFaultHook {
+ public:
+  enum class Role { kBoundaryChannel, kLbChannel, kCompute };
+
+  /// `config` must already be resolved(). `source` is recorded on events.
+  FaultPlan(const FaultConfig& config, Role role, util::Rng rng,
+            std::size_t source, FaultLog* log);
+
+  /// Channel roles only: delay (+ stale replay for boundary channels).
+  ChannelFault on_deliver() override;
+  /// Compute role only: sleep to serve at this iteration boundary (0 =
+  /// no fault).
+  std::chrono::microseconds compute_stall();
+  /// Compute role only: extra iterations to add to an elapsed OkToTryLB
+  /// countdown (0 = attempt the balance now).
+  std::size_t lb_trigger_skew();
+
+  /// Engines running schemes that block on neighbor readiness (SISC/SIAC)
+  /// must call this: replaying a stale boundary message would erase the
+  /// only copy of the data the receiver is blocked on, livelocking both
+  /// endpoints (see DESIGN.md "Fault model").
+  void disable_stale_replay();
+
+  std::size_t source() const noexcept { return source_; }
+
+ private:
+  FaultConfig config_;
+  Role role_;
+  std::size_t source_;
+  FaultLog* log_;
+  std::mutex mutex_;
+  util::Rng rng_;
+};
+
+/// Owns the plans and the log for one engine run: one compute plan per
+/// rank and one channel plan per directed link per message kind (a
+/// directed channel has exactly one pushing thread, so plans never
+/// contend in the engine).
+class FaultInjector {
+ public:
+  enum class Direction { kToLeft, kToRight };
+
+  FaultInjector(const FaultConfig& config, std::size_t ranks);
+
+  /// Plan for the boundary slot fed by `sender` toward its left/right
+  /// neighbor. Valid whenever that neighbor exists.
+  FaultPlan* boundary_plan(std::size_t sender, Direction direction);
+  /// Same for the load-balancing mailbox fed by `sender`.
+  FaultPlan* lb_plan(std::size_t sender, Direction direction);
+  FaultPlan* compute_plan(std::size_t rank);
+
+  void disable_stale_replay();
+
+  const FaultConfig& config() const noexcept { return config_; }
+  const FaultLog& log() const noexcept { return log_; }
+
+ private:
+  FaultConfig config_;
+  std::size_t ranks_;
+  FaultLog log_;
+  // unique_ptr: plans are pinned (channels hold raw hook pointers).
+  std::vector<std::unique_ptr<FaultPlan>> compute_;
+  std::vector<std::unique_ptr<FaultPlan>> boundary_;  // 2 per rank
+  std::vector<std::unique_ptr<FaultPlan>> lb_;        // 2 per rank
+};
+
+/// Registers the chaos knobs (`--chaos`, `--chaos-seed`,
+/// `--chaos-intensity`) in a CLI parser's help text.
+void describe_chaos_cli(util::CliParser& cli);
+/// Builds a FaultConfig from parsed chaos knobs: `--chaos` enables the
+/// layer at default probabilities, `--chaos-intensity=X` scales it,
+/// `--chaos-seed=N` seeds it.
+FaultConfig fault_config_from_cli(const util::CliParser& cli);
+
+}  // namespace aiac::runtime

@@ -26,6 +26,11 @@ void ExecutionTrace::record_migration(MigrationRecord record) {
   migrations_.push_back(record);
 }
 
+void ExecutionTrace::record_fault(FaultRecord record) {
+  processors_ = std::max(processors_, record.source + 1);
+  faults_.push_back(std::move(record));
+}
+
 double ExecutionTrace::span() const noexcept {
   double last = 0.0;
   for (const auto& it : iterations_) last = std::max(last, it.end);
@@ -78,6 +83,13 @@ void ExecutionTrace::write_messages_csv(std::ostream& out) const {
     out << m.src << ',' << m.dst << ',' << m.send_time << ','
         << m.receive_time << ',' << m.bytes << ',' << to_string(m.kind)
         << '\n';
+}
+
+void ExecutionTrace::write_faults_csv(std::ostream& out) const {
+  out << "sequence,source,time,kind,magnitude\n";
+  for (const auto& f : faults_)
+    out << f.sequence << ',' << f.source << ',' << f.time << ',' << f.kind
+        << ',' << f.magnitude << '\n';
 }
 
 void ExecutionTrace::write_ascii_gantt(std::ostream& out,

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -39,11 +40,23 @@ struct MigrationRecord {
   std::size_t components = 0;
 };
 
+/// One injected fault (chaos layer, threaded backend): what was perturbed,
+/// where, when, and by how much — enough to replay/explain a perturbed run
+/// alongside its iteration records.
+struct FaultRecord {
+  std::size_t source = 0;      // injecting rank (channel faults: the sender)
+  double time = 0.0;           // seconds since run start
+  std::string kind;            // "delivery-delay", "stale-replay", ...
+  double magnitude = 0.0;      // ms for delays/stalls, iterations for skew
+  std::uint64_t sequence = 0;  // global injection order
+};
+
 class ExecutionTrace {
  public:
   void record_iteration(IterationRecord record);
   void record_message(MessageRecord record);
   void record_migration(MigrationRecord record);
+  void record_fault(FaultRecord record);
   void set_processor_count(std::size_t count) { processors_ = count; }
 
   std::size_t processor_count() const noexcept { return processors_; }
@@ -56,6 +69,7 @@ class ExecutionTrace {
   const std::vector<MigrationRecord>& migrations() const noexcept {
     return migrations_;
   }
+  const std::vector<FaultRecord>& faults() const noexcept { return faults_; }
 
   /// Last iteration end over all processors (the makespan).
   double span() const noexcept;
@@ -73,6 +87,8 @@ class ExecutionTrace {
   void write_iterations_csv(std::ostream& out) const;
   /// Writes "src,dst,send,recv,bytes,kind" rows.
   void write_messages_csv(std::ostream& out) const;
+  /// Writes "sequence,source,time,kind,magnitude" rows.
+  void write_faults_csv(std::ostream& out) const;
   /// ASCII Gantt chart: one line per processor, `width` characters across
   /// the time span; '#' = computing, '.' = idle (the paper's grey blocks
   /// and white spaces).
@@ -83,6 +99,7 @@ class ExecutionTrace {
   std::vector<IterationRecord> iterations_;
   std::vector<MessageRecord> messages_;
   std::vector<MigrationRecord> migrations_;
+  std::vector<FaultRecord> faults_;
 };
 
 std::string to_string(MessageKind kind);

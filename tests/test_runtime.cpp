@@ -28,15 +28,16 @@ TEST(Mailbox, FifoOrder) {
 }
 
 TEST(Mailbox, NotifiesOnPush) {
+  // No sleep-based sequencing: whether the push lands before or after the
+  // consumer blocks, the predicate re-check under the notifier lock must
+  // see it (the lost-wakeup guarantee the drain loops rely on).
   Notifier notifier;
   Mailbox<int> box(&notifier);
   std::atomic<bool> got{false};
   std::thread consumer([&] {
-    notifier.wait_for(std::chrono::milliseconds(2000),
-                      [&] { return !box.empty(); });
+    notifier.wait_for(std::chrono::seconds(10), [&] { return !box.empty(); });
     got = box.try_pop().has_value();
   });
-  std::this_thread::sleep_for(std::chrono::milliseconds(10));
   box.push(42);
   consumer.join();
   EXPECT_TRUE(got);
