@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # CI pipeline: tier-1 (plain Release, full suite), then ThreadSanitizer and
-# AddressSanitizer+UBSan jobs over the runtime/chaos-labelled tests.
+# AddressSanitizer+UBSan jobs over the runtime/chaos/algo-labelled tests
+# (the algo label covers the cross-backend engine-parity suite).
 #
 #   scripts/ci.sh            # everything
 #   scripts/ci.sh tier1      # just the plain build + full ctest
@@ -28,7 +29,7 @@ tsan() {
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Tsan >/dev/null
   cmake --build build-tsan -j"$jobs"
   AIAC_CHAOS_SEEDS="${AIAC_CHAOS_SEEDS:-25}" TSAN_OPTIONS="halt_on_error=1" \
-    ctest --test-dir build-tsan -L 'chaos|runtime' --output-on-failure
+    ctest --test-dir build-tsan -L 'chaos|runtime|algo' --output-on-failure
 }
 
 asan() {
@@ -37,7 +38,7 @@ asan() {
   cmake --build build-asan -j"$jobs"
   AIAC_CHAOS_SEEDS="${AIAC_CHAOS_SEEDS:-25}" \
   ASAN_OPTIONS="detect_leaks=1" UBSAN_OPTIONS="halt_on_error=1" \
-    ctest --test-dir build-asan -L 'chaos|runtime' --output-on-failure
+    ctest --test-dir build-asan -L 'chaos|runtime|algo' --output-on-failure
 }
 
 case "$stage" in

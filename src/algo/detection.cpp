@@ -1,0 +1,115 @@
+#include "algo/detection.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aiac::algo {
+
+DetectionProtocol::DetectionProtocol(DetectionMode mode,
+                                     std::size_t processors,
+                                     Transport& transport,
+                                     DetectionDriver& driver)
+    : mode_(mode),
+      processors_(processors),
+      transport_(&transport),
+      driver_(&driver),
+      reported_(processors, false),
+      coordinator_view_(processors, false) {}
+
+void DetectionProtocol::on_iteration_end(std::size_t rank) {
+  if (halting_) return;
+  switch (mode_) {
+    case DetectionMode::kOracle:
+      break;  // the driver probes globally itself
+    case DetectionMode::kCoordinator:
+      coordinator_report(rank);
+      break;
+    case DetectionMode::kTokenRing:
+      if (token_holder_ == rank && !token_in_flight_) handle_token(rank);
+      break;
+  }
+}
+
+void DetectionProtocol::coordinator_report(std::size_t rank) {
+  const bool now_converged = driver_->locally_converged(rank);
+  if (now_converged == reported_[rank]) return;
+  reported_[rank] = now_converged;
+  transport_->post_control(rank, 0, [this, rank, now_converged] {
+    if (halting_) return;
+    coordinator_view_[rank] = now_converged;
+    if (std::all_of(coordinator_view_.begin(), coordinator_view_.end(),
+                    [](bool b) { return b; }))
+      halt();
+  });
+}
+
+void DetectionProtocol::handle_token(std::size_t rank) {
+  if (halting_) return;
+  const bool converged = driver_->locally_converged(rank);
+  token_count_ = converged ? token_count_ + 1 : 0;
+  if (token_count_ >= processors_) {
+    halt();
+    return;
+  }
+  const std::size_t next = (rank + 1) % processors_;
+  token_in_flight_ = true;
+  transport_->post_control(rank, next, [this, next] {
+    token_in_flight_ = false;
+    token_holder_ = next;
+    if (halting_) return;
+    // A busy node folds the token in at its next iteration end; an idle
+    // one must process it now or the ring stalls.
+    if (driver_->node_idle(next)) handle_token(next);
+  });
+}
+
+void DetectionProtocol::halt() {
+  halting_ = true;
+  driver_->broadcast_halt();
+}
+
+OracleSnapshot oracle_probe(const CoreFleet& fleet, bool lb_in_flight,
+                            double tolerance) {
+  OracleSnapshot snap;
+  if (lb_in_flight) return snap;
+  double max_residual = 0.0;
+  for (std::size_t p = 0; p < fleet.size(); ++p) {
+    const ProcessorCore& core = fleet.core(p);
+    if (core.iteration() == 0 || core.residual_stale()) return snap;
+    if (!(core.last_residual() <= tolerance)) return snap;
+    if (core.has_pending_migrations()) return snap;
+    max_residual = std::max(max_residual, core.last_residual());
+  }
+  double max_gap = 0.0;
+  for (std::size_t p = 0; p + 1 < fleet.size(); ++p) {
+    const double gap =
+        fleet.core(p).block().interface_gap_with_right(
+            fleet.core(p + 1).block());
+    if (gap > tolerance) return snap;
+    max_gap = std::max(max_gap, gap);
+  }
+  snap.converged = true;
+  snap.max_gap = max_gap;
+  snap.max_residual = max_residual;
+  return snap;
+}
+
+OracleSnapshot measured_audit(const CoreFleet& fleet) {
+  OracleSnapshot snap;
+  snap.converged = true;
+  for (std::size_t p = 0; p < fleet.size(); ++p) {
+    const ProcessorCore& core = fleet.core(p);
+    if (!std::isinf(core.last_residual()))
+      snap.max_residual = std::max(snap.max_residual, core.last_residual());
+    if (p + 1 < fleet.size()) {
+      const ode::WaveformBlock& left = core.block();
+      const ode::WaveformBlock& right = fleet.core(p + 1).block();
+      if (left.first() + left.count() == right.first())
+        snap.max_gap =
+            std::max(snap.max_gap, left.interface_gap_with_right(right));
+    }
+  }
+  return snap;
+}
+
+}  // namespace aiac::algo

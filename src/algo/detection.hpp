@@ -1,0 +1,108 @@
+// Convergence detection, implemented once for both drivers.
+//
+// Three modes (see types.hpp): the oracle is a driver-side global probe
+// (`oracle_probe` below — the driver guarantees a quiescent view, by
+// construction in the single-threaded simulator, by holding every block
+// lock in the threaded engine); coordinator and token-ring are genuine
+// message protocols driven through `DetectionProtocol`, whose control
+// messages travel over Transport::post_control with the driver's latency
+// and accounting.
+//
+// DetectionProtocol is not thread-safe: the threaded driver serializes all
+// calls (on_iteration_end and the delivered closures) under one detection
+// mutex; the simulated driver is single-threaded by construction.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "algo/processor_core.hpp"
+#include "algo/runtime_ifaces.hpp"
+#include "algo/types.hpp"
+
+namespace aiac::algo {
+
+/// What the protocol needs from its driver beyond message transport.
+class DetectionDriver {
+ public:
+  virtual ~DetectionDriver() = default;
+
+  /// Persistence-streak local convergence of `rank`, read from whatever
+  /// the driver can access safely in the calling context (the threaded
+  /// driver reads an atomic mirror, not the core itself).
+  virtual bool locally_converged(std::size_t rank) const = 0;
+
+  /// True when `rank` is not mid-iteration, so an arriving token must be
+  /// processed on delivery or the ring stalls. The threaded driver always
+  /// returns false: every node folds the token in at its own next
+  /// iteration end (the control push wakes a dormant node, which then
+  /// runs one more iteration).
+  virtual bool node_idle(std::size_t rank) const = 0;
+
+  /// Distributes the halt decision to every processor (with control
+  /// latency and accounting) and ends the run once all are down.
+  virtual void broadcast_halt() = 0;
+};
+
+class DetectionProtocol {
+ public:
+  DetectionProtocol(DetectionMode mode, std::size_t processors,
+                    Transport& transport, DetectionDriver& driver);
+
+  /// Hook the driver calls after each processor's finish_iteration.
+  /// kOracle: no-op (the driver probes globally itself). kCoordinator:
+  /// report local-convergence flips to rank 0. kTokenRing: fold the token
+  /// in if this node holds it.
+  void on_iteration_end(std::size_t rank);
+
+  /// The halt decision has been taken (broadcast may still be in flight).
+  bool halting() const noexcept { return halting_; }
+
+ private:
+  void coordinator_report(std::size_t rank);
+  void handle_token(std::size_t rank);
+  void halt();
+
+  DetectionMode mode_;
+  std::size_t processors_;
+  Transport* transport_;
+  DetectionDriver* driver_;
+  bool halting_ = false;
+
+  // Coordinator state: what each node last reported (sender side) and
+  // what rank 0 has received so far.
+  std::vector<bool> reported_;
+  std::vector<bool> coordinator_view_;
+
+  // Token-ring state.
+  std::size_t token_holder_ = 0;
+  std::size_t token_count_ = 0;  // consecutively-converged nodes seen
+  bool token_in_flight_ = false;
+};
+
+/// The oracle's global convergence probe over a quiescent fleet view:
+/// every core has completed an iteration, holds a fresh (non-stale)
+/// residual within tolerance and no queued migration, no load balancing is
+/// in flight (`lb_in_flight`, driver-owned link state), and every shared
+/// interface is consistent across neighbors — local residuals alone are
+/// not sufficient for AIAC, where a node whose ghost data stopped arriving
+/// reports a zero residual over stale values.
+struct OracleSnapshot {
+  bool converged = false;
+  /// Audit trail for the no-early-detection invariant: the values the
+  /// probe actually verified at the halt instant (valid when converged).
+  double max_gap = 0.0;
+  double max_residual = 0.0;
+};
+
+OracleSnapshot oracle_probe(const CoreFleet& fleet, bool lb_in_flight,
+                            double tolerance);
+
+/// The coordinator/token-ring halt audit: those protocols guaranteed
+/// persistent local convergence, not interface consistency, so this
+/// records whatever actually held at the halt instant (`converged` is
+/// always true). Interfaces disturbed by an in-flight migration are not
+/// measurable and are skipped.
+OracleSnapshot measured_audit(const CoreFleet& fleet);
+
+}  // namespace aiac::algo

@@ -1,0 +1,39 @@
+#include "algo/partitioner.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "lb/iterative_schemes.hpp"
+#include "ode/waveform.hpp"
+
+namespace aiac::algo {
+
+std::vector<std::size_t> build_partition(const PartitionSpec& spec) {
+  if (spec.processors == 0)
+    throw std::invalid_argument("build_partition: zero processors");
+  if (!spec.speeds.empty() && spec.speeds.size() != spec.processors)
+    throw std::invalid_argument(
+        "build_partition: speeds size (" + std::to_string(spec.speeds.size()) +
+        ") does not match processor count (" +
+        std::to_string(spec.processors) + ")");
+
+  std::vector<std::size_t> starts;
+  if (spec.mode == InitialPartition::kSpeedWeighted) {
+    std::vector<double> speeds = spec.speeds;
+    if (speeds.empty()) speeds.assign(spec.processors, 1.0);
+    starts = lb::speed_weighted_partition(spec.dimension, speeds,
+                                          spec.min_per_part);
+  } else {
+    starts = ode::even_partition(spec.dimension, spec.processors);
+  }
+
+  for (std::size_t p = 0; p < spec.processors; ++p) {
+    if (starts[p + 1] - starts[p] < spec.min_per_part)
+      throw std::invalid_argument(
+          "build_partition: partition leaves a processor with fewer than "
+          "stencil+1 components; use fewer processors or a larger system");
+  }
+  return starts;
+}
+
+}  // namespace aiac::algo

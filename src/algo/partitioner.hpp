@@ -1,0 +1,36 @@
+// Shared initial-partition construction: both drivers must split the
+// component chain identically or they diverge before the first iteration
+// (the threaded backend used to hard-code the even split and silently
+// ignore EngineConfig::initial_partition — this is the single
+// implementation that replaced that).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "algo/types.hpp"
+
+namespace aiac::algo {
+
+struct PartitionSpec {
+  InitialPartition mode = InitialPartition::kEven;
+  /// Total number of components to split.
+  std::size_t dimension = 0;
+  std::size_t processors = 0;
+  /// Relative processor speeds for kSpeedWeighted. Empty means uniform —
+  /// on a homogeneous substrate (the threaded backend's identical cores)
+  /// the speed-weighted split then degenerates to the even one, which is
+  /// the honest reading of "speed-weighted" there. When non-empty the
+  /// size must equal `processors`.
+  std::vector<double> speeds;
+  /// Structural floor: every processor must receive at least this many
+  /// components (stencil + 1 in the engines).
+  std::size_t min_per_part = 1;
+};
+
+/// Contiguous part boundaries (size processors + 1, starts[0] == 0,
+/// starts[processors] == dimension). Throws std::invalid_argument when the
+/// spec is inconsistent or any part would fall below `min_per_part`.
+std::vector<std::size_t> build_partition(const PartitionSpec& spec);
+
+}  // namespace aiac::algo

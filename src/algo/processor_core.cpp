@@ -1,0 +1,219 @@
+#include "algo/processor_core.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace aiac::algo {
+
+ProcessorCore::ProcessorCore(std::size_t rank, std::size_t processors,
+                             const ode::OdeSystem& system,
+                             const ode::WaveformBlockConfig& block_config,
+                             const CoreParams& params,
+                             const lb::LoadEstimator& estimator,
+                             const lb::NeighborBalancer& balancer)
+    : rank_(rank),
+      processors_(processors),
+      params_(params),
+      estimator_(&estimator),
+      balancer_(&balancer),
+      block_(system, block_config),
+      lb_countdown_(params.lb_trigger_period),
+      min_seen_(block_config.count) {}
+
+void ProcessorCore::ingest_boundary(Side from,
+                                    const ode::BoundaryMessage& msg) {
+  if (from == Side::kLeft) {
+    inbox_left_ = msg;
+    left_data_iteration_ =
+        std::max(left_data_iteration_, msg.sender_iteration);
+    left_load_ = msg.sender_load;
+  } else {
+    inbox_right_ = msg;
+    right_data_iteration_ =
+        std::max(right_data_iteration_, msg.sender_iteration);
+    right_load_ = msg.sender_load;
+  }
+}
+
+void ProcessorCore::enqueue_migration(Side from,
+                                      ode::MigrationPayload payload) {
+  (from == Side::kLeft ? pending_from_left_ : pending_from_right_)
+      .push_back(std::move(payload));
+}
+
+ProcessorCore::BeginInfo ProcessorCore::begin_iteration() {
+  BeginInfo info;
+  while (!pending_from_left_.empty()) {
+    block_.absorb_from_left(pending_from_left_.front());
+    pending_from_left_.pop_front();
+    info.absorbed_from_left = true;
+    residual_stale_ = true;
+  }
+  while (!pending_from_right_.empty()) {
+    block_.absorb_from_right(pending_from_right_.front());
+    pending_from_right_.pop_front();
+    info.absorbed_from_right = true;
+    residual_stale_ = true;
+  }
+  if (inbox_left_) {
+    // Position check (paper Algorithm 7): silently dropped when the
+    // arrays are mid-resize and the positions no longer line up; the
+    // receive filter drops insignificant updates the same way.
+    info.external_input |= block_.accept_left_ghosts(*inbox_left_);
+    inbox_left_.reset();
+  }
+  if (inbox_right_) {
+    info.external_input |= block_.accept_right_ghosts(*inbox_right_);
+    inbox_right_.reset();
+  }
+  info.external_input |= info.absorbed_from_left || info.absorbed_from_right;
+  return info;
+}
+
+ode::WaveformBlock::IterationStats ProcessorCore::run_iteration() {
+  ++computed_iterations_;
+  return block_.iterate();
+}
+
+void ProcessorCore::finish_iteration(
+    const ode::WaveformBlock::IterationStats& stats, double start_time,
+    ClockModel& clock) {
+  iteration_ += 1;
+  residual_stale_ = false;  // this iterate covers any absorbed rows
+  last_residual_ = stats.residual;
+  last_seconds_ = clock.now() - start_time;
+  last_work_ = stats.work;
+  total_work_ += stats.work;
+  min_seen_ = std::min(min_seen_, block_.count());
+  // The streak deliberately ignores external input: an applied boundary
+  // update that leaves the residual under tolerance must not reset it, or
+  // the coordinator/token reports of neighboring near-converged nodes
+  // flip forever and detection livelocks. Detection safety does not rest
+  // on the streak — the oracle probe re-verifies residuals and interface
+  // gaps over a quiescent view before any halt.
+  if (stats.residual <= params_.tolerance)
+    under_tol_streak_ += 1;
+  else
+    under_tol_streak_ = 0;
+}
+
+ode::BoundaryMessage ProcessorCore::make_boundary(Side toward) const {
+  auto msg = toward == Side::kLeft ? block_.boundary_for_left()
+                                   : block_.boundary_for_right();
+  msg.sender_iteration = computed_iterations_;
+  msg.sender_components = block_.count();
+  msg.sender_residual =
+      std::isinf(last_residual_) ? 1.0 : last_residual_;
+  msg.sender_load = current_load();
+  return msg;
+}
+
+void ProcessorCore::emit_boundaries(Transport& transport) {
+  if (has_neighbor(Side::kLeft))
+    transport.send_boundary(rank_, Side::kLeft, make_boundary(Side::kLeft));
+  if (has_neighbor(Side::kRight))
+    transport.send_boundary(rank_, Side::kRight, make_boundary(Side::kRight));
+}
+
+bool ProcessorCore::lb_trigger_due() {
+  if (lb_countdown_ > 0) {
+    --lb_countdown_;
+    return false;
+  }
+  return true;
+}
+
+void ProcessorCore::defer_lb(std::size_t iterations) {
+  lb_countdown_ = iterations;
+}
+
+lb::BalanceDecision ProcessorCore::plan_migration(bool left_link_busy,
+                                                  bool right_link_busy) const {
+  lb::BalanceView view;
+  view.my_load = current_load();
+  view.my_components = block_.count();
+  if (has_neighbor(Side::kLeft)) {
+    view.left_load = left_load_;
+    view.left_link_busy = left_link_busy;
+  }
+  if (has_neighbor(Side::kRight)) {
+    view.right_load = right_load_;
+    view.right_link_busy = right_link_busy;
+  }
+  return balancer_->decide(view);
+}
+
+std::optional<ode::MigrationPayload> ProcessorCore::extract_migration(
+    Side toward, std::size_t amount) {
+  const std::size_t count = block_.count();
+  if (count <= params_.min_keep) return std::nullopt;
+  amount = std::min(amount, count - params_.min_keep);
+  if (amount == 0) return std::nullopt;
+  auto payload = toward == Side::kLeft ? block_.extract_for_left(amount)
+                                       : block_.extract_for_right(amount);
+  // Sample the famine invariant at its tightest point: immediately after
+  // the extraction, before the payload even leaves.
+  min_seen_ = std::min(min_seen_, block_.count());
+  lb_countdown_ = params_.lb_trigger_period;
+  ++migrations_out_;
+  components_out_ += payload.owned_count;
+  lb_bytes_out_ += payload.byte_size();
+  return payload;
+}
+
+void ProcessorCore::drain_pending_migrations() {
+  while (!pending_from_left_.empty()) {
+    block_.absorb_from_left(pending_from_left_.front());
+    pending_from_left_.pop_front();
+  }
+  while (!pending_from_right_.empty()) {
+    block_.absorb_from_right(pending_from_right_.front());
+    pending_from_right_.pop_front();
+  }
+}
+
+double ProcessorCore::current_load() const {
+  lb::NodeLoadInputs inputs;
+  inputs.residual = std::isinf(last_residual_) ? 1.0 : last_residual_;
+  inputs.last_iteration_seconds = last_seconds_;
+  inputs.last_iteration_work = last_work_;
+  inputs.components = block_.count();
+  return estimator_->estimate(inputs);
+}
+
+CoreFleet::CoreFleet(const ode::OdeSystem& system, const FleetConfig& config) {
+  estimator_ = lb::make_estimator(config.estimator);
+  balancer_ = std::make_unique<lb::NeighborBalancer>(config.balancer);
+  const std::size_t stencil = system.stencil_halfwidth();
+  min_keep_ = std::max(config.balancer.min_components, stencil + 1);
+
+  PartitionSpec spec;
+  spec.mode = config.partition;
+  spec.dimension = system.dimension();
+  spec.processors = config.processors;
+  spec.speeds = config.speeds;
+  spec.min_per_part = stencil + 1;
+  const auto starts = build_partition(spec);
+
+  CoreParams params;
+  params.tolerance = config.tolerance;
+  params.persistence = config.persistence;
+  params.min_keep = min_keep_;
+  params.lb_trigger_period = config.balancer.trigger_period;
+
+  for (std::size_t p = 0; p < config.processors; ++p) {
+    ode::WaveformBlockConfig bc;
+    bc.first = starts[p];
+    bc.count = starts[p + 1] - starts[p];
+    bc.num_steps = config.num_steps;
+    bc.t_end = config.t_end;
+    bc.mode = config.solve_mode;
+    bc.newton = config.newton;
+    bc.receive_filter = config.receive_filter;
+    cores_.emplace_back(p, config.processors, system, bc, params, *estimator_,
+                        *balancer_);
+  }
+}
+
+}  // namespace aiac::algo

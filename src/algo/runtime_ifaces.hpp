@@ -1,0 +1,65 @@
+// The two narrow interfaces through which the backend-agnostic algorithm
+// layer is driven (see DESIGN.md "The algo layer"):
+//
+//  * Transport — how bytes leave a processor. The virtual-time driver
+//    schedules discrete-event deliveries with grid latencies; the threaded
+//    driver pushes into SlotBox/Mailbox channels.
+//  * ClockModel — how work units map to seconds. The virtual-time driver
+//    predicts durations from the grid model; the threaded driver measures
+//    wall time.
+//
+// Everything above these interfaces (ProcessorCore, DetectionProtocol,
+// Partitioner) is identical algorithm code for both backends.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "algo/types.hpp"
+#include "ode/waveform_block.hpp"
+
+namespace aiac::algo {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Sends freshly stamped boundary (ghost) data from `src` toward its
+  /// `toward`-side neighbor. The driver owns the departure discipline
+  /// (early/late sends, link mutual exclusion, fault hooks).
+  virtual void send_boundary(std::size_t src, Side toward,
+                             ode::BoundaryMessage msg) = 0;
+
+  /// Ships a load-balancing migration payload from `src` toward its
+  /// `toward`-side neighbor. The per-link at-most-one-in-flight rule is
+  /// enforced by the driver before the payload is extracted.
+  virtual void send_migration(std::size_t src, Side toward,
+                              ode::MigrationPayload payload) = 0;
+
+  /// Posts a convergence-detection control message. `deliver` must run in
+  /// the destination's execution context after the driver's control
+  /// latency: at the scheduled virtual delivery time for the simulated
+  /// driver, at the destination thread's next control drain for the
+  /// threaded one. The driver accounts message counts/bytes.
+  virtual void post_control(std::size_t src, std::size_t dst,
+                            std::function<void()> deliver) = 0;
+};
+
+class ClockModel {
+ public:
+  virtual ~ClockModel() = default;
+
+  /// Current time in seconds: virtual time for the discrete-event driver,
+  /// wall seconds since run start for the threaded driver.
+  virtual double now() const = 0;
+
+  /// Seconds that `work` work-units starting at `start` occupy on
+  /// processor `rank` while it holds `resident` components. Predictive
+  /// models (the simulated grid) compute this; measuring models (wall
+  /// clock) return a negative sentinel and the driver uses the measured
+  /// elapsed time instead.
+  virtual double work_to_seconds(std::size_t rank, double work, double start,
+                                 double resident) = 0;
+};
+
+}  // namespace aiac::algo

@@ -1,0 +1,53 @@
+// Null-safe trace emission helpers: one place that turns algorithm events
+// into trace records so both drivers produce structurally identical traces
+// (the threaded engine used to emit only fault records; it now shares the
+// iteration/message/migration paths with the simulator).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+
+#include "runtime/fault_injector.hpp"
+#include "trace/execution_trace.hpp"
+
+namespace aiac::algo {
+
+inline void emit_iteration(trace::ExecutionTrace* trace, std::size_t rank,
+                           std::size_t iteration, double start, double end,
+                           double work, double residual,
+                           std::size_t components) {
+  if (!trace) return;
+  trace->record_iteration(
+      {rank, iteration, start, end, work, residual, components});
+}
+
+inline void emit_message(trace::ExecutionTrace* trace, std::size_t src,
+                         std::size_t dst, double send_time,
+                         double receive_time, std::size_t bytes,
+                         trace::MessageKind kind) {
+  if (!trace) return;
+  trace->record_message({src, dst, send_time, receive_time, bytes, kind});
+}
+
+inline void emit_migration(trace::ExecutionTrace* trace, std::size_t src,
+                           std::size_t dst, double time,
+                           std::size_t components) {
+  if (!trace) return;
+  trace->record_migration({src, dst, time, components});
+}
+
+inline void emit_fault_log(trace::ExecutionTrace* trace,
+                           const runtime::FaultLog& log) {
+  if (!trace) return;
+  for (const auto& event : log.snapshot()) {
+    trace::FaultRecord record;
+    record.source = event.source;
+    record.time = event.time;
+    record.kind = runtime::to_string(event.kind);
+    record.magnitude = event.magnitude;
+    record.sequence = event.sequence;
+    trace->record_fault(std::move(record));
+  }
+}
+
+}  // namespace aiac::algo

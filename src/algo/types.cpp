@@ -1,0 +1,35 @@
+#include "algo/types.hpp"
+
+namespace aiac::algo {
+
+std::string to_string(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kSISC: return "SISC";
+    case Scheme::kSIAC: return "SIAC";
+    case Scheme::kAIAC: return "AIAC";
+  }
+  return "?";
+}
+
+std::string to_string(DetectionMode mode) {
+  switch (mode) {
+    case DetectionMode::kOracle: return "oracle";
+    case DetectionMode::kCoordinator: return "coordinator";
+    case DetectionMode::kTokenRing: return "token-ring";
+  }
+  return "?";
+}
+
+std::string to_string(InitialPartition partition) {
+  switch (partition) {
+    case InitialPartition::kEven: return "even";
+    case InitialPartition::kSpeedWeighted: return "speed-weighted";
+  }
+  return "?";
+}
+
+std::string to_string(Side side) {
+  return side == Side::kLeft ? "left" : "right";
+}
+
+}  // namespace aiac::algo

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "algo/types.hpp"
 #include "lb/balancer.hpp"
 #include "lb/estimators.hpp"
 #include "ode/newton.hpp"
@@ -15,43 +16,13 @@
 
 namespace aiac::core {
 
-/// The paper's three-way categorization of parallel iterative algorithms
-/// (§1.2).
-enum class Scheme {
-  kSISC,  // Synchronous Iterations, Synchronous Communications
-  kSIAC,  // Synchronous Iterations, Asynchronous Communications
-  kAIAC,  // Asynchronous Iterations, Asynchronous Communications
-};
-
-std::string to_string(Scheme scheme);
-
-/// How global convergence is decided.
-enum class DetectionMode {
-  /// The simulator inspects the true global state (all local residuals
-  /// under tolerance, no balancing in flight). Deterministic, no protocol
-  /// overhead; the measurement used by the paper-reproduction benches.
-  kOracle,
-  /// A distributed protocol: nodes report persistent local convergence to
-  /// a coordinator which broadcasts the halt (the paper defers detection
-  /// design to the authors' companion work; this is the classic
-  /// coordinator scheme with a persistence guard).
-  kCoordinator,
-  /// Fully decentralized: a token circulates over the ring 0..P-1
-  /// counting consecutively-converged nodes; a full lap of converged
-  /// nodes triggers the halt broadcast. No node plays a special role
-  /// beyond initially holding the token.
-  kTokenRing,
-};
-
-std::string to_string(DetectionMode mode);
-
-/// How components are initially distributed (paper: homogeneous
-/// distribution; the authors' earlier work [2] uses static speed-weighted
-/// balancing, provided here as an option and baseline).
-enum class InitialPartition {
-  kEven,
-  kSpeedWeighted,
-};
+// The algorithm vocabulary (Scheme, DetectionMode, InitialPartition) lives
+// with the backend-agnostic algorithm layer in algo/types.hpp; re-exported
+// here so existing driver-level call sites keep reading core::Scheme etc.
+using algo::DetectionMode;
+using algo::InitialPartition;
+using algo::Scheme;
+using algo::to_string;
 
 struct EngineConfig {
   Scheme scheme = Scheme::kAIAC;
@@ -79,6 +50,13 @@ struct EngineConfig {
   lb::EstimatorKind estimator = lb::EstimatorKind::kResidual;
 
   InitialPartition initial_partition = InitialPartition::kEven;
+  /// Relative processor speeds for the speed-weighted partition. The
+  /// simulated backend defaults to its grid machines' peak speeds and
+  /// treats a non-empty vector as an override; the threaded backend runs
+  /// on identical cores, so empty means uniform (the speed-weighted split
+  /// then degenerates to the even one). Size must match the processor
+  /// count when non-empty.
+  std::vector<double> processor_speeds;
 
   // Timing model.
   /// Fixed per-iteration work overhead (loop management, residual
@@ -134,15 +112,17 @@ struct EngineResult {
 
   /// Chaos-layer events injected during the run (0 when disabled).
   std::size_t faults_injected = 0;
-  /// Paper invariant instrumentation (threaded backend): smallest owned
+  /// Paper invariant instrumentation (both backends): smallest owned
   /// component count any processor ever held — after every iteration and,
   /// crucially, immediately after every migration extraction. The famine
   /// guard demands this never drops below the engine's minimum keep.
   std::size_t min_components_observed = 0;
-  /// Detection audit (threaded backend, converged runs): the maximum
-  /// interface gap and per-processor residual re-read at the instant the
-  /// halt decision was taken, with every block lock held. Both must be
-  /// within tolerance or detection fired early. -1 when not converged.
+  /// Detection audit (both backends, converged runs): the maximum
+  /// interface gap and per-processor residual at the instant the halt
+  /// decision was taken, over a quiescent view (every block lock held in
+  /// the threaded backend). Under oracle detection both must be within
+  /// tolerance or detection fired early; coordinator/token-ring record
+  /// whatever the protocol actually guaranteed. -1 when not converged.
   double detection_gap = -1.0;
   double detection_max_residual = -1.0;
 };

@@ -2,72 +2,65 @@
 
 #include <algorithm>
 #include <cmath>
-#include <deque>
-#include <limits>
 #include <memory>
 #include <optional>
 #include <stdexcept>
+#include <utility>
 
+#include "algo/detection.hpp"
+#include "algo/processor_core.hpp"
+#include "algo/runtime_ifaces.hpp"
+#include "algo/trace_sink.hpp"
 #include "des/simulator.hpp"
-#include "lb/iterative_schemes.hpp"
-#include "ode/waveform.hpp"
 #include "util/log.hpp"
 
 namespace aiac::core {
 
-std::string to_string(Scheme scheme) {
-  switch (scheme) {
-    case Scheme::kSISC: return "SISC";
-    case Scheme::kSIAC: return "SIAC";
-    case Scheme::kAIAC: return "AIAC";
-  }
-  return "?";
-}
-
-std::string to_string(DetectionMode mode) {
-  switch (mode) {
-    case DetectionMode::kOracle: return "oracle";
-    case DetectionMode::kCoordinator: return "coordinator";
-    case DetectionMode::kTokenRing: return "token-ring";
-  }
-  return "?";
-}
-
 namespace {
 
-class SimEngine {
+using algo::Side;
+
+/// The discrete-event driver: all algorithm state lives in the shared
+/// algo::ProcessorCore / DetectionProtocol; this class only schedules
+/// events, models message latency and computation duration on the grid,
+/// and keeps the per-processor execution flags (computing / waiting /
+/// dormant / halted) the event loop needs.
+class SimEngine final : public algo::Transport,
+                        public algo::ClockModel,
+                        public algo::DetectionDriver {
  public:
   SimEngine(const ode::OdeSystem& system, grid::Grid& grid,
             const EngineConfig& config, trace::ExecutionTrace* trace)
       : system_(system), grid_(grid), config_(config), trace_(trace) {
     const std::size_t nprocs = grid.process_count();
     if (nprocs == 0) throw std::invalid_argument("SimEngine: no processors");
-    estimator_ = lb::make_estimator(config.estimator);
-    balancer_ = std::make_unique<lb::NeighborBalancer>(config.balancer);
-    stencil_ = system.stencil_halfwidth();
-    min_keep_ = std::max(config.balancer.min_components, stencil_ + 1);
 
-    const auto starts = initial_partition(nprocs);
-    procs_.resize(nprocs);
-    for (std::size_t p = 0; p < nprocs; ++p) {
-      ode::WaveformBlockConfig bc;
-      bc.first = starts[p];
-      bc.count = starts[p + 1] - starts[p];
-      if (bc.count < stencil_ + 1)
-        throw std::invalid_argument(
-            "SimEngine: partition leaves a processor with fewer than "
-            "stencil+1 components; use fewer processors or a larger system");
-      bc.num_steps = config.num_steps;
-      bc.t_end = config.t_end;
-      bc.mode = config.solve_mode;
-      bc.newton = config.newton;
-      bc.receive_filter = config.tolerance * config.receive_filter_factor;
-      procs_[p].block = std::make_unique<ode::WaveformBlock>(system_, bc);
-      procs_[p].ok_to_try_lb = config.balancer.trigger_period;
+    algo::FleetConfig fc;
+    fc.processors = nprocs;
+    fc.partition = config.initial_partition;
+    fc.speeds = config.processor_speeds;
+    if (fc.speeds.empty() &&
+        config.initial_partition == InitialPartition::kSpeedWeighted) {
+      fc.speeds.resize(nprocs);
+      for (std::size_t p = 0; p < nprocs; ++p)
+        fc.speeds[p] = grid.machine_of(p).peak_speed();
     }
+    fc.num_steps = config.num_steps;
+    fc.t_end = config.t_end;
+    fc.solve_mode = config.solve_mode;
+    fc.newton = config.newton;
+    fc.receive_filter = config.tolerance * config.receive_filter_factor;
+    fc.tolerance = config.tolerance;
+    fc.persistence = config.persistence;
+    fc.estimator = config.estimator;
+    fc.balancer = config.balancer;
+    fleet_ = std::make_unique<algo::CoreFleet>(system, fc);
+
+    procs_.resize(nprocs);
     lb_link_busy_.assign(nprocs > 0 ? nprocs - 1 : 0, false);
     lb_link_inflight_.resize(nprocs > 0 ? nprocs - 1 : 0);
-    coordinator_converged_.assign(nprocs, false);
+    protocol_ = std::make_unique<algo::DetectionProtocol>(
+        config.detection, nprocs, *this, *this);
     if (trace_) trace_->set_processor_count(nprocs);
   }
 
@@ -77,28 +70,116 @@ class SimEngine {
     return assemble_result();
   }
 
+  // ---- algo::ClockModel ---------------------------------------------
+
+  double now() const override { return sim_.now(); }
+
+  double work_to_seconds(std::size_t rank, double work, double start,
+                         double resident) override {
+    return grid_.compute_duration(rank, work, start, resident);
+  }
+
+  // ---- algo::Transport ----------------------------------------------
+
+  /// Called from ProcessorCore::emit_boundaries right after the numerics
+  /// ran at virtual time t_start; the staged departure times implement the
+  /// scheme's send discipline (SIAC/AIAC dispatch the leftward data early
+  /// in the iteration, paper Fig. 2-4; SISC sends everything at the end).
+  void send_boundary(std::size_t src, Side toward,
+                     ode::BoundaryMessage msg) override {
+    const double depart = toward == Side::kLeft ? staged_left_depart_
+                                                : staged_right_depart_;
+    const std::size_t dst = toward == Side::kLeft ? src - 1 : src + 1;
+    sim_.schedule_at(depart, [this, src, dst, msg = std::move(msg), toward] {
+      dispatch_boundary(src, dst, msg, /*to_left=*/toward == Side::kLeft);
+    });
+  }
+
+  void send_migration(std::size_t src, Side toward,
+                      ode::MigrationPayload payload) override {
+    const bool to_left = toward == Side::kLeft;
+    const std::size_t dst = to_left ? src - 1 : src + 1;
+    const std::size_t link = to_left ? src - 1 : src;
+    const std::size_t amount = payload.owned_count;
+    const double now_ = sim_.now();
+    const double delay =
+        grid_.message_delay(src, dst, payload.byte_size(), now_);
+    algo::emit_message(trace_, src, dst, now_, now_ + delay,
+                       payload.byte_size(), trace::MessageKind::kLoadBalance);
+    algo::emit_migration(trace_, src, dst, now_, amount);
+    AIAC_DEBUG("lb") << "t=" << now_ << " proc " << src << " sends " << amount
+                     << " components " << (to_left ? "left" : "right");
+
+    lb_link_inflight_[link] = payload;  // recoverable if we stop mid-flight
+    sim_.schedule_at(now_ + delay, [this, dst, link,
+                                    payload = std::move(payload), to_left] {
+      lb_link_inflight_[link].reset();
+      if (stopped_) return;
+      fleet_->core(dst).enqueue_migration(to_left ? Side::kRight : Side::kLeft,
+                                          payload);
+      // The link stays busy until the receiver absorbs the payload at its
+      // next iteration start, which serializes migrations per link.
+      if (procs_[dst].waiting || procs_[dst].dormant) try_start(dst);
+    });
+  }
+
+  void post_control(std::size_t src, std::size_t dst,
+                    std::function<void()> deliver) override {
+    const double now_ = sim_.now();
+    const double delay =
+        src == dst
+            ? 0.0
+            : grid_.message_delay(src, dst, config_.control_message_bytes,
+                                  now_);
+    ++result_control_messages_;
+    result_bytes_ += config_.control_message_bytes;
+    if (src != dst)
+      algo::emit_message(trace_, src, dst, now_, now_ + delay,
+                         config_.control_message_bytes,
+                         trace::MessageKind::kControl);
+    sim_.schedule_at(now_ + delay, [this, deliver = std::move(deliver)] {
+      if (stopped_) return;
+      deliver();
+    });
+  }
+
+  // ---- algo::DetectionDriver ----------------------------------------
+
+  bool locally_converged(std::size_t rank) const override {
+    return fleet_->core(rank).locally_converged();
+  }
+
+  bool node_idle(std::size_t rank) const override {
+    return !procs_[rank].computing;
+  }
+
+  void broadcast_halt() override {
+    // The protocol guaranteed persistent local convergence, not interface
+    // consistency; record what actually held at the halt instant.
+    record_detection_audit();
+    const double now_ = sim_.now();
+    for (std::size_t p = 0; p < procs_.size(); ++p) {
+      const double delay =
+          p == 0 ? 0.0
+                 : grid_.message_delay(0, p, config_.control_message_bytes,
+                                       now_);
+      ++result_control_messages_;
+      result_bytes_ += config_.control_message_bytes;
+      sim_.schedule_at(now_ + delay, [this, p] {
+        procs_[p].halted = true;
+        if (std::all_of(procs_.begin(), procs_.end(),
+                        [](const Proc& q) { return q.halted; }))
+          stop_all(/*converged=*/true);
+      });
+    }
+  }
+
  private:
+  /// Driver-side execution state; everything algorithmic is in the core.
   struct Proc {
-    std::unique_ptr<ode::WaveformBlock> block;
-    std::size_t iteration = 0;  // completed iterations
     bool computing = false;
     bool waiting = false;  // sync schemes: blocked on neighbor data
     bool halted = false;
-
-    // Latest boundary data received, incorporated at iteration start.
-    std::optional<ode::BoundaryMessage> inbox_from_left;
-    std::optional<ode::BoundaryMessage> inbox_from_right;
-    // Highest neighbor iteration whose data has been delivered here.
-    std::size_t left_data_iteration = 0;
-    std::size_t right_data_iteration = 0;
-
-    // Migrations awaiting absorption (FIFO per side).
-    std::deque<ode::MigrationPayload> pending_from_left;
-    std::deque<ode::MigrationPayload> pending_from_right;
-
-    // Neighbor load estimates (piggybacked on boundary data).
-    std::optional<double> left_load;
-    std::optional<double> right_load;
 
     // Mutual exclusion on data sends (paper's AIAC variant, Fig. 4).
     bool send_left_busy = false;
@@ -113,40 +194,20 @@ class SimEngine {
     /// (iterating on unchanged data is a no-op; the paper's runtime spins
     /// through such iterations, with identical observable behaviour).
     bool dormant = false;
-
-    std::size_t ok_to_try_lb = 20;
-
-    /// Set when components were absorbed whose residual is not yet
-    /// reflected in last_residual; blocks the convergence oracle until the
-    /// next iteration completes.
-    bool residual_stale = false;
-
-    double last_residual = std::numeric_limits<double>::infinity();
-    double last_iteration_seconds = 0.0;
-    double last_iteration_work = 0.0;
-    std::size_t under_tol_streak = 0;
-    bool reported_converged = false;  // coordinator mode
   };
 
-  std::vector<std::size_t> initial_partition(std::size_t nprocs) const {
-    if (config_.initial_partition == InitialPartition::kSpeedWeighted) {
-      std::vector<double> speeds(nprocs);
-      for (std::size_t p = 0; p < nprocs; ++p)
-        speeds[p] = grid_.machine_of(p).peak_speed();
-      return lb::speed_weighted_partition(system_.dimension(), speeds,
-                                          stencil_ + 1);
-    }
-    return ode::even_partition(system_.dimension(), nprocs);
-  }
-
-  bool ready_to_start(const Proc& proc, std::size_t p) const {
+  bool ready_to_start(std::size_t p) const {
     if (config_.scheme == Scheme::kAIAC) return true;
     // Sync schemes: need both neighbors' data from our completed-iteration
     // count before starting the next one (iteration 1 needs nothing:
     // initial ghosts are the initial condition).
-    if (proc.iteration == 0) return true;
-    if (p > 0 && proc.left_data_iteration < proc.iteration) return false;
-    if (p + 1 < procs_.size() && proc.right_data_iteration < proc.iteration)
+    const algo::ProcessorCore& core = fleet_->core(p);
+    if (core.iteration() == 0) return true;
+    if (core.has_neighbor(Side::kLeft) &&
+        core.data_iteration(Side::kLeft) < core.iteration())
+      return false;
+    if (core.has_neighbor(Side::kRight) &&
+        core.data_iteration(Side::kRight) < core.iteration())
       return false;
     return true;
   }
@@ -155,7 +216,7 @@ class SimEngine {
     Proc& proc = procs_[p];
     if (proc.computing || proc.halted || stopped_) return;
     proc.dormant = false;
-    if (!ready_to_start(proc, p)) {
+    if (!ready_to_start(p)) {
       proc.waiting = true;
       return;
     }
@@ -171,67 +232,33 @@ class SimEngine {
       return;
     }
     const double t_start = sim_.now();
+    algo::ProcessorCore& core = fleet_->core(p);
 
-    absorb_pending_migrations(p);
-    incorporate_boundary_data(p);
+    const auto begin = core.begin_iteration();
+    if (begin.absorbed_from_left) lb_link_busy_[p - 1] = false;
+    if (begin.absorbed_from_right) lb_link_busy_[p] = false;
 
     // The real numerics. Conceptually they occupy the virtual interval
     // [t_start, t_start + duration); messages delivered inside that window
-    // are only visible to the *next* iteration, which is why they are
-    // buffered in the inbox rather than applied to the block directly.
-    const std::size_t components = proc.block->count();
-    const auto stats = proc.block->iterate();
+    // are only visible to the *next* iteration, which is why the core
+    // buffers them in its inbox rather than applying them directly.
+    const std::size_t components = core.components();
+    const auto stats = core.run_iteration();
     const double work = stats.work + config_.iteration_overhead_work;
-    const double duration = grid_.compute_duration(
-        p, work, t_start, static_cast<double>(components));
+    const double duration =
+        work_to_seconds(p, work, t_start, static_cast<double>(components));
 
-    // Capture outgoing boundary data now (it is the new iterate) and
-    // schedule its departure according to the scheme.
-    schedule_boundary_sends(p, t_start, duration);
+    // Stage the scheme's departure times, then let the core hand its
+    // freshly stamped boundary data to the transport.
+    const bool early = config_.scheme != Scheme::kSISC;
+    staged_left_depart_ =
+        t_start + (early ? config_.early_send_fraction * duration : duration);
+    staged_right_depart_ = t_start + duration;
+    core.emit_boundaries(*this);
 
     sim_.schedule_at(t_start + duration, [this, p, stats, t_start, components] {
       finish_iteration(p, stats, t_start, components);
     });
-  }
-
-  void schedule_boundary_sends(std::size_t p, double t_start,
-                               double duration) {
-    Proc& proc = procs_[p];
-    const bool early = config_.scheme != Scheme::kSISC;
-    const double left_depart =
-        t_start + (early ? config_.early_send_fraction * duration : duration);
-    const double right_depart = t_start + duration;
-
-    if (p > 0) {
-      auto msg = proc.block->boundary_for_left();
-      stamp_message(proc, msg);
-      sim_.schedule_at(left_depart, [this, p, msg = std::move(msg)] {
-        dispatch_boundary(p, p - 1, msg, /*to_left=*/true);
-      });
-    }
-    if (p + 1 < procs_.size()) {
-      auto msg = proc.block->boundary_for_right();
-      stamp_message(proc, msg);
-      sim_.schedule_at(right_depart, [this, p, msg = std::move(msg)] {
-        dispatch_boundary(p, p + 1, msg, /*to_left=*/false);
-      });
-    }
-  }
-
-  void stamp_message(const Proc& proc, ode::BoundaryMessage& msg) const {
-    msg.sender_iteration = proc.iteration + 1;  // the iteration being run
-    msg.sender_components = proc.block->count();
-    lb::NodeLoadInputs inputs;
-    // The residual of the iteration in progress is not known when the
-    // message is captured; the paper sends "the residual of previous
-    // iteration" with the leftward data — we do the same for both sides.
-    inputs.residual = std::isinf(proc.last_residual) ? 1.0
-                                                     : proc.last_residual;
-    inputs.last_iteration_seconds = proc.last_iteration_seconds;
-    inputs.last_iteration_work = proc.last_iteration_work;
-    inputs.components = proc.block->count();
-    msg.sender_residual = inputs.residual;
-    msg.sender_load = estimator_->estimate(inputs);
   }
 
   void dispatch_boundary(std::size_t src, std::size_t dst,
@@ -249,13 +276,11 @@ class SimEngine {
     }
     busy = true;
     const double sent = sim_.now();
-    const double delay =
-        grid_.message_delay(src, dst, msg.byte_size(), sent);
+    const double delay = grid_.message_delay(src, dst, msg.byte_size(), sent);
     ++result_data_messages_;
     result_bytes_ += msg.byte_size();
-    if (trace_)
-      trace_->record_message({src, dst, sent, sent + delay, msg.byte_size(),
-                              trace::MessageKind::kBoundaryData});
+    algo::emit_message(trace_, src, dst, sent, sent + delay, msg.byte_size(),
+                       trace::MessageKind::kBoundaryData);
     sim_.schedule_at(sent + delay, [this, src, dst, msg, to_left] {
       deliver_boundary(src, dst, msg, to_left);
     });
@@ -270,99 +295,47 @@ class SimEngine {
         to_left ? sender.send_left_pending : sender.send_right_pending;
     if (pending) {
       pending = false;
-      auto fresh = to_left ? sender.block->boundary_for_left()
-                           : sender.block->boundary_for_right();
-      stamp_message(sender, fresh);
+      auto fresh = fleet_->core(src).make_boundary(to_left ? Side::kLeft
+                                                           : Side::kRight);
       dispatch_boundary(src, dst, fresh, to_left);
     }
-    Proc& receiver = procs_[dst];
-    if (to_left) {
-      // src = dst + 1: the receiver gets data from its right neighbor.
-      receiver.inbox_from_right = msg;
-      receiver.right_data_iteration =
-          std::max(receiver.right_data_iteration, msg.sender_iteration);
-      receiver.right_load = msg.sender_load;
-    } else {
-      receiver.inbox_from_left = msg;
-      receiver.left_data_iteration =
-          std::max(receiver.left_data_iteration, msg.sender_iteration);
-      receiver.left_load = msg.sender_load;
-    }
-    if (receiver.waiting || receiver.dormant) try_start(dst);
+    // src = dst + 1 when to_left: the receiver gets data from its right.
+    fleet_->core(dst).ingest_boundary(to_left ? Side::kRight : Side::kLeft,
+                                      msg);
+    if (procs_[dst].waiting || procs_[dst].dormant) try_start(dst);
   }
 
-  void incorporate_boundary_data(std::size_t p) {
-    Proc& proc = procs_[p];
-    if (proc.inbox_from_left) {
-      // Position check (paper Algorithm 7): silently dropped when the
-      // arrays are mid-resize and the positions no longer line up.
-      (void)proc.block->accept_left_ghosts(*proc.inbox_from_left);
-      proc.inbox_from_left.reset();
-    }
-    if (proc.inbox_from_right) {
-      (void)proc.block->accept_right_ghosts(*proc.inbox_from_right);
-      proc.inbox_from_right.reset();
-    }
-  }
-
-  void absorb_pending_migrations(std::size_t p) {
-    Proc& proc = procs_[p];
-    while (!proc.pending_from_left.empty()) {
-      proc.block->absorb_from_left(proc.pending_from_left.front());
-      proc.pending_from_left.pop_front();
-      lb_link_busy_[p - 1] = false;  // p > 0 whenever data comes from left
-      proc.residual_stale = true;
-    }
-    while (!proc.pending_from_right.empty()) {
-      proc.block->absorb_from_right(proc.pending_from_right.front());
-      proc.pending_from_right.pop_front();
-      lb_link_busy_[p] = false;
-      proc.residual_stale = true;
-    }
-  }
-
-  void finish_iteration(std::size_t p, ode::WaveformBlock::IterationStats stats,
+  void finish_iteration(std::size_t p,
+                        ode::WaveformBlock::IterationStats stats,
                         double t_start, std::size_t components) {
     Proc& proc = procs_[p];
     proc.computing = false;
     if (stopped_) return;
-    const double now = sim_.now();
-    proc.iteration += 1;
-    proc.residual_stale = false;  // this iterate covers any absorbed rows
-    proc.last_residual = stats.residual;
-    proc.last_iteration_seconds = now - t_start;
-    proc.last_iteration_work = stats.work;
-    result_total_work_ += stats.work;
-    if (stats.residual <= config_.tolerance)
-      proc.under_tol_streak += 1;
-    else
-      proc.under_tol_streak = 0;
+    algo::ProcessorCore& core = fleet_->core(p);
+    core.finish_iteration(stats, t_start, *this);
+    const double now_ = sim_.now();
+    algo::emit_iteration(trace_, p, core.iteration(), t_start, now_,
+                         stats.work, stats.residual, components);
 
-    if (trace_)
-      trace_->record_iteration({p, proc.iteration, t_start, now, stats.work,
-                                stats.residual, components});
-
-    if (proc.iteration >= config_.max_iterations_per_processor ||
-        now >= config_.max_virtual_time) {
+    if (core.iteration() >= config_.max_iterations_per_processor ||
+        now_ >= config_.max_virtual_time) {
       stop_all(/*converged=*/false);
       return;
     }
 
     if (config_.load_balancing) try_load_balance(p);
 
-    switch (config_.detection) {
-      case DetectionMode::kOracle:
-        if (oracle_globally_converged()) {
-          stop_all(/*converged=*/true);
-          return;
-        }
-        break;
-      case DetectionMode::kCoordinator:
-        coordinator_report(p);
-        break;
-      case DetectionMode::kTokenRing:
-        if (token_holder_ == p && !token_in_flight_) handle_token(p);
-        break;
+    if (config_.detection == DetectionMode::kOracle) {
+      const auto snap =
+          algo::oracle_probe(*fleet_, lb_in_flight(), config_.tolerance);
+      if (snap.converged) {
+        detection_gap_ = snap.max_gap;
+        detection_max_residual_ = snap.max_residual;
+        stop_all(/*converged=*/true);
+        return;
+      }
+    } else {
+      protocol_->on_iteration_end(p);
     }
 
     // Event-driven idling: nothing changed and nothing new arrived — sleep
@@ -370,9 +343,7 @@ class SimEngine {
     const bool no_progress =
         stats.residual == 0.0 && stats.newton_iterations == 0;
     if (config_.scheme == Scheme::kAIAC && config_.event_driven_idle &&
-        no_progress && !proc.inbox_from_left && !proc.inbox_from_right &&
-        proc.pending_from_left.empty() && proc.pending_from_right.empty() &&
-        proc.under_tol_streak >= config_.persistence) {
+        no_progress && core.inputs_quiescent() && core.locally_converged()) {
       proc.dormant = true;
       return;
     }
@@ -385,177 +356,33 @@ class SimEngine {
   // ---- Load balancing -----------------------------------------------
 
   void try_load_balance(std::size_t p) {
-    Proc& proc = procs_[p];
-    if (proc.ok_to_try_lb > 0) {
-      proc.ok_to_try_lb -= 1;
-      return;
-    }
-    lb::BalanceView view;
-    lb::NodeLoadInputs inputs;
-    inputs.residual = proc.last_residual;
-    inputs.last_iteration_seconds = proc.last_iteration_seconds;
-    inputs.last_iteration_work = proc.last_iteration_work;
-    inputs.components = proc.block->count();
-    view.my_load = estimator_->estimate(inputs);
-    view.my_components = proc.block->count();
-    if (p > 0) {
-      view.left_load = proc.left_load;
-      view.left_link_busy = lb_link_busy_[p - 1];
-    }
-    if (p + 1 < procs_.size()) {
-      view.right_load = proc.right_load;
-      view.right_link_busy = lb_link_busy_[p];
-    }
-    const auto decision = balancer_->decide(view);
+    algo::ProcessorCore& core = fleet_->core(p);
+    if (!core.lb_trigger_due()) return;
+    const bool left_busy = p > 0 && lb_link_busy_[p - 1];
+    const bool right_busy = p + 1 < procs_.size() && lb_link_busy_[p];
+    const auto decision = core.plan_migration(left_busy, right_busy);
     if (decision.action == lb::BalanceDecision::Action::kNone) return;
-
-    // Clamp to the block's structural famine guard.
-    std::size_t amount = decision.amount;
-    const std::size_t count = proc.block->count();
-    if (count <= min_keep_) return;
-    amount = std::min(amount, count - min_keep_);
-    if (amount == 0) return;
 
     const bool to_left =
         decision.action == lb::BalanceDecision::Action::kSendLeft;
-    const std::size_t dst = to_left ? p - 1 : p + 1;
-    const std::size_t link = to_left ? p - 1 : p;
-
-    auto payload = to_left ? proc.block->extract_for_left(amount)
-                           : proc.block->extract_for_right(amount);
-    lb_link_busy_[link] = true;
-    proc.ok_to_try_lb = config_.balancer.trigger_period;
-
-    const double now = sim_.now();
-    const double delay =
-        grid_.message_delay(p, dst, payload.byte_size(), now);
-    ++result_lb_messages_;
-    ++result_migrations_;
-    result_components_migrated_ += amount;
-    result_bytes_ += payload.byte_size();
-    if (trace_) {
-      trace_->record_message({p, dst, now, now + delay, payload.byte_size(),
-                              trace::MessageKind::kLoadBalance});
-      trace_->record_migration({p, dst, now, amount});
-    }
-    AIAC_DEBUG("lb") << "t=" << now << " proc " << p << " sends " << amount
-                     << " components " << (to_left ? "left" : "right");
-
-    lb_link_inflight_[link] = payload;  // recoverable if we stop mid-flight
-    sim_.schedule_at(now + delay, [this, p, dst, link,
-                                   payload = std::move(payload), to_left] {
-      lb_link_inflight_[link].reset();
-      if (stopped_) return;
-      Proc& receiver = procs_[dst];
-      if (to_left)
-        receiver.pending_from_right.push_back(payload);
-      else
-        receiver.pending_from_left.push_back(payload);
-      // The link stays busy until the receiver absorbs the payload at its
-      // next iteration start, which serializes migrations per link.
-      if (receiver.waiting || receiver.dormant) try_start(dst);
-    });
+    const Side side = to_left ? Side::kLeft : Side::kRight;
+    auto payload = core.extract_migration(side, decision.amount);
+    if (!payload) return;
+    lb_link_busy_[to_left ? p - 1 : p] = true;
+    send_migration(p, side, std::move(*payload));
   }
 
-  // ---- Convergence --------------------------------------------------
-
-  bool oracle_globally_converged() const {
-    for (const auto& proc : procs_) {
-      if (proc.iteration == 0 || proc.residual_stale) return false;
-      if (!(proc.last_residual <= config_.tolerance)) return false;
-    }
-    for (bool busy : lb_link_busy_)
-      if (busy) return false;
-    // Local residuals are not sufficient for AIAC: a processor whose ghost
-    // data stopped arriving reports a zero residual over stale values. The
-    // oracle additionally demands that every shared interface is
-    // consistent across neighbors.
-    for (std::size_t p = 0; p + 1 < procs_.size(); ++p) {
-      if (procs_[p].block->interface_gap_with_right(*procs_[p + 1].block) >
-          config_.tolerance)
-        return false;
-    }
-    return true;
+  bool lb_in_flight() const {
+    return std::any_of(lb_link_busy_.begin(), lb_link_busy_.end(),
+                       [](bool busy) { return busy; });
   }
 
-  void coordinator_report(std::size_t p) {
-    Proc& proc = procs_[p];
-    const bool now_converged = proc.under_tol_streak >= config_.persistence;
-    if (now_converged == proc.reported_converged) return;
-    proc.reported_converged = now_converged;
-    const double now = sim_.now();
-    const double delay = p == 0 ? 0.0
-                                : grid_.message_delay(
-                                      p, 0, config_.control_message_bytes, now);
-    ++result_control_messages_;
-    result_bytes_ += config_.control_message_bytes;
-    if (trace_ && p != 0)
-      trace_->record_message({p, 0, now, now + delay,
-                              config_.control_message_bytes,
-                              trace::MessageKind::kControl});
-    sim_.schedule_at(now + delay, [this, p, now_converged] {
-      if (stopped_ || halting_) return;
-      coordinator_converged_[p] = now_converged;
-      if (std::all_of(coordinator_converged_.begin(),
-                      coordinator_converged_.end(),
-                      [](bool b) { return b; }))
-        broadcast_halt();
-    });
-  }
+  // ---- Halting ------------------------------------------------------
 
-  // ---- Token-ring detection -----------------------------------------
-
-  /// Processes the token at node p: fold in p's local convergence state,
-  /// halt after a full converged lap, otherwise pass it on.
-  void handle_token(std::size_t p) {
-    if (halting_ || stopped_) return;
-    Proc& proc = procs_[p];
-    const bool converged = proc.under_tol_streak >= config_.persistence;
-    token_count_ = converged ? token_count_ + 1 : 0;
-    if (token_count_ >= procs_.size()) {
-      broadcast_halt();
-      return;
-    }
-    const std::size_t next = (p + 1) % procs_.size();
-    const double now = sim_.now();
-    const double delay =
-        grid_.message_delay(p, next, config_.control_message_bytes, now);
-    token_in_flight_ = true;
-    ++result_control_messages_;
-    result_bytes_ += config_.control_message_bytes;
-    if (trace_)
-      trace_->record_message({p, next, now, now + delay,
-                              config_.control_message_bytes,
-                              trace::MessageKind::kControl});
-    sim_.schedule_at(now + delay, [this, next] {
-      token_in_flight_ = false;
-      token_holder_ = next;
-      if (stopped_ || halting_) return;
-      // A busy node folds the token in at its next iteration end; an idle
-      // one (dormant or waiting) must process it now or the ring stalls.
-      if (!procs_[next].computing) handle_token(next);
-    });
-  }
-
-  void broadcast_halt() {
-    halting_ = true;
-    const double now = sim_.now();
-    double last_delivery = now;
-    for (std::size_t p = 0; p < procs_.size(); ++p) {
-      const double delay =
-          p == 0 ? 0.0
-                 : grid_.message_delay(0, p, config_.control_message_bytes,
-                                       now);
-      last_delivery = std::max(last_delivery, now + delay);
-      ++result_control_messages_;
-      result_bytes_ += config_.control_message_bytes;
-      sim_.schedule_at(now + delay, [this, p] {
-        procs_[p].halted = true;
-        if (std::all_of(procs_.begin(), procs_.end(),
-                        [](const Proc& q) { return q.halted; }))
-          stop_all(/*converged=*/true);
-      });
-    }
+  void record_detection_audit() {
+    const algo::OracleSnapshot snap = algo::measured_audit(*fleet_);
+    detection_gap_ = snap.max_gap;
+    detection_max_residual_ = snap.max_residual;
   }
 
   void stop_all(bool converged) {
@@ -575,36 +402,43 @@ class SimEngine {
       if (!lb_link_inflight_[link]) continue;
       auto& payload = *lb_link_inflight_[link];
       if (payload.direction == ode::MigrationPayload::Direction::kToLeft)
-        procs_[link].pending_from_right.push_back(std::move(payload));
+        fleet_->core(link).enqueue_migration(Side::kRight,
+                                             std::move(payload));
       else
-        procs_[link + 1].pending_from_left.push_back(std::move(payload));
+        fleet_->core(link + 1).enqueue_migration(Side::kLeft,
+                                                 std::move(payload));
       lb_link_inflight_[link].reset();
     }
     for (std::size_t p = 0; p < procs_.size(); ++p)
-      absorb_pending_migrations(p);
+      fleet_->core(p).drain_pending_migrations();
 
     EngineResult result;
     result.converged = result_converged_;
     result.execution_time = execution_time_ >= 0 ? execution_time_ : sim_.now();
     result.solution = ode::Trajectory(system_.dimension(), config_.num_steps);
-    for (auto& proc : procs_) proc.block->copy_local_into(result.solution);
-    result.iterations_per_processor.reserve(procs_.size());
-    result.final_components.reserve(procs_.size());
-    for (const auto& proc : procs_) {
-      result.total_iterations += proc.iteration;
-      result.iterations_per_processor.push_back(proc.iteration);
-      result.final_components.push_back(proc.block->count());
-      if (!std::isinf(proc.last_residual))
+    result.min_components_observed = procs_.empty() ? 0 : SIZE_MAX;
+    for (std::size_t p = 0; p < procs_.size(); ++p) {
+      const algo::ProcessorCore& core = fleet_->core(p);
+      core.block().copy_local_into(result.solution);
+      result.total_iterations += core.iteration();
+      result.iterations_per_processor.push_back(core.iteration());
+      result.final_components.push_back(core.components());
+      result.total_work += core.total_work();
+      result.migrations += core.migrations_out();
+      result.components_migrated += core.components_out();
+      result.bytes_sent += core.lb_bytes_out();
+      result.min_components_observed =
+          std::min(result.min_components_observed, core.min_components_seen());
+      if (!std::isinf(core.last_residual()))
         result.final_max_residual =
-            std::max(result.final_max_residual, proc.last_residual);
+            std::max(result.final_max_residual, core.last_residual());
     }
-    result.total_work = result_total_work_;
+    result.lb_messages = result.migrations;
     result.data_messages = result_data_messages_;
-    result.lb_messages = result_lb_messages_;
     result.control_messages = result_control_messages_;
-    result.bytes_sent = result_bytes_;
-    result.migrations = result_migrations_;
-    result.components_migrated = result_components_migrated_;
+    result.bytes_sent += result_bytes_;
+    result.detection_gap = detection_gap_;
+    result.detection_max_residual = detection_max_residual_;
     return result;
   }
 
@@ -613,29 +447,25 @@ class SimEngine {
   EngineConfig config_;
   trace::ExecutionTrace* trace_;
   des::Simulator sim_;
-  std::unique_ptr<lb::LoadEstimator> estimator_;
-  std::unique_ptr<lb::NeighborBalancer> balancer_;
-  std::size_t stencil_ = 0;
-  std::size_t min_keep_ = 0;
+  std::unique_ptr<algo::CoreFleet> fleet_;
+  std::unique_ptr<algo::DetectionProtocol> protocol_;
 
   std::vector<Proc> procs_;
   std::vector<bool> lb_link_busy_;
   std::vector<std::optional<ode::MigrationPayload>> lb_link_inflight_;
-  std::vector<bool> coordinator_converged_;
-  std::size_t token_holder_ = 0;  // token-ring mode: current holder
-  std::size_t token_count_ = 0;   // consecutively-converged nodes seen
-  bool token_in_flight_ = false;
-  bool halting_ = false;
+  // Departure times for the boundary messages of the iteration currently
+  // being started (set immediately before ProcessorCore::emit_boundaries).
+  double staged_left_depart_ = 0.0;
+  double staged_right_depart_ = 0.0;
+
   bool stopped_ = false;
   bool result_converged_ = false;
   double execution_time_ = -1.0;
-  double result_total_work_ = 0.0;
+  double detection_gap_ = -1.0;
+  double detection_max_residual_ = -1.0;
   std::size_t result_data_messages_ = 0;
-  std::size_t result_lb_messages_ = 0;
   std::size_t result_control_messages_ = 0;
   std::size_t result_bytes_ = 0;
-  std::size_t result_migrations_ = 0;
-  std::size_t result_components_migrated_ = 0;
 };
 
 }  // namespace

@@ -3,19 +3,19 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <thread>
 #include <cmath>
+#include <functional>
 #include <limits>
 #include <memory>
 #include <mutex>
-#include <numeric>
 #include <optional>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
-#include "lb/iterative_schemes.hpp"
-#include "ode/waveform.hpp"
-#include "ode/waveform_block.hpp"
+#include "algo/detection.hpp"
+#include "algo/processor_core.hpp"
+#include "algo/runtime_ifaces.hpp"
 #include "runtime/fault_injector.hpp"
 #include "runtime/mailbox.hpp"
 #include "runtime/notifier.hpp"
@@ -28,77 +28,81 @@ namespace aiac::core {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+using algo::Side;
 
+/// Per-processor runtime plumbing. All algorithm state lives in the
+/// shared algo::ProcessorCore (serialized by block_mutex); this struct
+/// only holds the channels, the notifier, lock-free mirrors of core state
+/// for cross-thread reads, and owner-thread counters.
 struct ThreadProc {
-  std::unique_ptr<ode::WaveformBlock> block;
   std::mutex block_mutex;  // Algorithm 7: "if not accessing data array"
   runtime::Notifier notifier;
   runtime::SlotBox<ode::BoundaryMessage> from_left{&notifier};
   runtime::SlotBox<ode::BoundaryMessage> from_right{&notifier};
   runtime::Mailbox<ode::MigrationPayload> lb_from_left{&notifier};
   runtime::Mailbox<ode::MigrationPayload> lb_from_right{&notifier};
+  /// Convergence-detection deliveries (Transport::post_control): closures
+  /// drained and run in this thread's own context, under the engine's
+  /// detection mutex.
+  runtime::Mailbox<std::function<void()>> control{&notifier};
 
+  // Mirrors of core state, published by the owner after each iteration so
+  // the leader's oracle precheck and the detection protocol can read them
+  // without taking block_mutex.
   std::atomic<std::size_t> iteration{0};
   std::atomic<double> residual{std::numeric_limits<double>::infinity()};
-  std::atomic<double> load{0.0};
   std::atomic<bool> locally_converged{false};
 
-  // Thread-local (only the owner touches these).
-  std::size_t ok_to_try_lb = 20;
-  std::size_t under_tol_streak = 0;
-  std::size_t left_data_iteration = 0;
-  std::size_t right_data_iteration = 0;
-  double left_load = -1.0;   // < 0: unknown
-  double right_load = -1.0;
-  double last_iteration_seconds = 0.0;
-  double last_iteration_work = 0.0;
-  double total_work = 0.0;
+  // Owner-thread counters (summed after join).
   std::size_t data_messages = 0;
-  std::size_t migrations_out = 0;
-  std::size_t components_out = 0;
   std::size_t bytes_out = 0;
 
-  // Famine-guard instrumentation: smallest owned count this processor
-  // ever held, sampled after every iteration and right after every
-  // migration extraction (the only operations that shrink it).
-  std::size_t min_components_seen = 0;
   // Chaos layer (null when disabled): compute stalls + LB-trigger skew.
   runtime::FaultPlan* fault_plan = nullptr;
 };
 
-class ThreadEngine {
+/// The threaded driver: real threads over the shared algorithm objects.
+/// Implements Transport by pushing into the neighbor's channels, the
+/// ClockModel by measuring wall time, and the DetectionDriver over the
+/// atomic mirrors.
+class ThreadEngine final : public algo::Transport,
+                           public algo::ClockModel,
+                           public algo::DetectionDriver {
  public:
   ThreadEngine(const ode::OdeSystem& system, std::size_t processors,
                const EngineConfig& config, trace::ExecutionTrace* trace)
-      : system_(system), config_(config), nprocs_(processors), trace_(trace) {
+      : config_(config),
+        nprocs_(processors),
+        dimension_(system.dimension()),
+        trace_(trace) {
     if (processors == 0)
       throw std::invalid_argument("run_threaded: zero processors");
-    estimator_ = lb::make_estimator(config.estimator);
-    balancer_ = std::make_unique<lb::NeighborBalancer>(config.balancer);
-    stencil_ = system.stencil_halfwidth();
-    min_keep_ = std::max(config.balancer.min_components, stencil_ + 1);
 
-    const auto starts = ode::even_partition(system.dimension(), processors);
+    algo::FleetConfig fc;
+    fc.processors = processors;
+    fc.partition = config.initial_partition;
+    // Threads share identical cores, so empty speeds mean uniform (the
+    // speed-weighted split then degenerates to the even one); a non-empty
+    // vector models a deliberately skewed deployment.
+    fc.speeds = config.processor_speeds;
+    fc.num_steps = config.num_steps;
+    fc.t_end = config.t_end;
+    fc.solve_mode = config.solve_mode;
+    fc.newton = config.newton;
+    fc.receive_filter = config.tolerance * config.receive_filter_factor;
+    fc.tolerance = config.tolerance;
+    fc.persistence = config.persistence;
+    fc.estimator = config.estimator;
+    fc.balancer = config.balancer;
+    fleet_ = std::make_unique<algo::CoreFleet>(system, fc);
+
     procs_ = std::vector<ThreadProc>(processors);
-    for (std::size_t p = 0; p < processors; ++p) {
-      ode::WaveformBlockConfig bc;
-      bc.first = starts[p];
-      bc.count = starts[p + 1] - starts[p];
-      if (bc.count < stencil_ + 1)
-        throw std::invalid_argument(
-            "run_threaded: partition too fine for the stencil");
-      bc.num_steps = config.num_steps;
-      bc.t_end = config.t_end;
-      bc.mode = config.solve_mode;
-      bc.newton = config.newton;
-      bc.receive_filter = config.tolerance * config.receive_filter_factor;
-      procs_[p].block = std::make_unique<ode::WaveformBlock>(system, bc);
-      procs_[p].ok_to_try_lb = config.balancer.trigger_period;
-      procs_[p].min_components_seen = bc.count;
-    }
     lb_link_busy_ =
-        std::make_unique<std::atomic<bool>[]>(processors > 0 ? processors : 1);
+        std::make_unique<std::atomic<bool>[]>(processors > 1 ? processors - 1
+                                                             : 1);
     for (std::size_t i = 0; i + 1 < processors; ++i) lb_link_busy_[i] = false;
+    protocol_ = std::make_unique<algo::DetectionProtocol>(
+        config.detection, processors, *this, *this);
 
     if (config.faults.enabled) {
       injector_ =
@@ -132,45 +136,341 @@ class ThreadEngine {
   }
 
   EngineResult run() {
-    const auto t0 = Clock::now();
+    t0_ = Clock::now();
     {
       runtime::ThreadTeam team;
       team.spawn(nprocs_, [this](std::size_t rank) { worker(rank); });
       team.join();
     }
     const auto t1 = Clock::now();
+    return assemble_result(std::chrono::duration<double>(t1 - t0_).count());
+  }
 
+  // ---- algo::ClockModel ---------------------------------------------
+
+  double now() const override {
+    return std::chrono::duration<double>(Clock::now() - t0_).count();
+  }
+
+  /// Measuring driver: durations are observed, never predicted.
+  double work_to_seconds(std::size_t, double, double, double) override {
+    return -1.0;
+  }
+
+  // ---- algo::Transport ----------------------------------------------
+
+  /// Owner-thread only (worker's own emit after its iteration), so the
+  /// sender-side counters need no synchronization.
+  void send_boundary(std::size_t src, Side toward,
+                     ode::BoundaryMessage msg) override {
+    ThreadProc& sender = procs_[src];
+    sender.bytes_out += msg.byte_size();
+    ++sender.data_messages;
+    if (toward == Side::kLeft)
+      procs_[src - 1].from_right.put(std::move(msg));
+    else
+      procs_[src + 1].from_left.put(std::move(msg));
+  }
+
+  void send_migration(std::size_t src, Side toward,
+                      ode::MigrationPayload payload) override {
+    AIAC_DEBUG("thread-lb") << "proc " << src << " sends "
+                            << payload.owned_count << " components "
+                            << (toward == Side::kLeft ? "left" : "right");
+    if (toward == Side::kLeft)
+      procs_[src - 1].lb_from_right.push(std::move(payload));
+    else
+      procs_[src + 1].lb_from_left.push(std::move(payload));
+  }
+
+  /// Always entered with detection_mutex_ held (every protocol entry point
+  /// runs under it), which also guards the control counters.
+  void post_control(std::size_t, std::size_t dst,
+                    std::function<void()> deliver) override {
+    ++control_messages_;
+    control_bytes_ += config_.control_message_bytes;
+    procs_[dst].control.push(std::move(deliver));
+  }
+
+  // ---- algo::DetectionDriver ----------------------------------------
+
+  bool locally_converged(std::size_t rank) const override {
+    return procs_[rank].locally_converged.load();
+  }
+
+  /// A token is never processed on delivery here: the receiving node folds
+  /// it in at its own next iteration end (a dormant node is woken by the
+  /// control push and runs one more iteration). Processing on delivery
+  /// would recurse through the drain loop on a self-posted token.
+  bool node_idle(std::size_t) const override { return false; }
+
+  /// Coordinator/token-ring halt (under detection_mutex_, caller holds no
+  /// block lock). The protocol guaranteed persistent local convergence,
+  /// not interface consistency; record what actually held over a
+  /// quiescent view, then bring every thread down.
+  void broadcast_halt() override {
+    std::vector<std::unique_lock<std::mutex>> locks;
+    locks.reserve(nprocs_);
+    for (auto& proc : procs_) locks.emplace_back(proc.block_mutex);
+    const algo::OracleSnapshot snap = algo::measured_audit(*fleet_);
+    detection_gap_ = snap.max_gap;
+    detection_max_residual_ = snap.max_residual;
+    // The halt fan-out is one control message per processor, as on the
+    // simulated backend.
+    control_messages_ += nprocs_;
+    control_bytes_ += nprocs_ * config_.control_message_bytes;
+    halt_.store(true, std::memory_order_release);
+    locks.clear();
+    wake_all();
+  }
+
+ private:
+  void worker(std::size_t p) {
+    ThreadProc& proc = procs_[p];
+    algo::ProcessorCore& core = fleet_->core(p);
+    while (!halt_.load(std::memory_order_acquire)) {
+      if (proc.fault_plan) {
+        // Transient slow-node stall, served at the iteration boundary
+        // where a real machine would lose the core to a competing job.
+        const auto stall = proc.fault_plan->compute_stall();
+        if (stall.count() > 0) std::this_thread::sleep_for(stall);
+      }
+      drain_control(proc);
+      if (halt_.load(std::memory_order_acquire)) break;
+
+      ode::WaveformBlock::IterationStats stats;
+      std::optional<ode::BoundaryMessage> out_left;
+      std::optional<ode::BoundaryMessage> out_right;
+      std::size_t iteration = 0;
+      double residual = 0.0;
+      bool converged = false;
+      {
+        std::lock_guard<std::mutex> lock(proc.block_mutex);
+        while (auto payload = proc.lb_from_left.try_pop())
+          core.enqueue_migration(Side::kLeft, std::move(*payload));
+        while (auto payload = proc.lb_from_right.try_pop())
+          core.enqueue_migration(Side::kRight, std::move(*payload));
+        if (auto msg = proc.from_left.take())
+          core.ingest_boundary(Side::kLeft, *msg);
+        if (auto msg = proc.from_right.take())
+          core.ingest_boundary(Side::kRight, *msg);
+        const auto begin = core.begin_iteration();
+        // The link stays busy until the receiver absorbs the payload,
+        // which serializes migrations per link.
+        if (begin.absorbed_from_left) lb_link_busy_[p - 1].store(false);
+        if (begin.absorbed_from_right) lb_link_busy_[p].store(false);
+        const double start = now();
+        stats = core.run_iteration();
+        core.finish_iteration(stats, start, *this);
+        if (core.has_neighbor(Side::kLeft))
+          out_left = core.make_boundary(Side::kLeft);
+        if (core.has_neighbor(Side::kRight))
+          out_right = core.make_boundary(Side::kRight);
+        iteration = core.iteration();
+        residual = core.last_residual();
+        converged = core.locally_converged();
+      }
+      proc.iteration.store(iteration);
+      proc.residual.store(residual);
+      proc.locally_converged.store(converged);
+
+      // Channel pushes (and their fault hooks, which may sleep) happen
+      // outside the block lock so a stalled delivery never blocks the
+      // leader's quiescent probe.
+      if (out_left) send_boundary(p, Side::kLeft, std::move(*out_left));
+      if (out_right) send_boundary(p, Side::kRight, std::move(*out_right));
+      if (config_.load_balancing) try_load_balance(p, proc, core);
+
+      if (config_.detection == DetectionMode::kOracle) {
+        if (p == 0) leader_oracle();
+      } else {
+        std::lock_guard<std::mutex> lock(detection_mutex_);
+        protocol_->on_iteration_end(p);
+      }
+
+      if (iteration >= config_.max_iterations_per_processor) {
+        failed_.store(true);
+        halt_.store(true, std::memory_order_release);
+        wake_all();
+        break;
+      }
+
+      if (config_.scheme == Scheme::kAIAC)
+        idle_if_quiescent(proc, stats);
+      else
+        wait_for_neighbor_data(p, proc, core);
+    }
+  }
+
+  /// Runs queued detection closures in this thread's context. Must be
+  /// called without holding the caller's block lock: a closure may be the
+  /// halt decision, which takes every block lock.
+  void drain_control(ThreadProc& proc) {
+    while (auto fn = proc.control.try_pop()) {
+      std::lock_guard<std::mutex> lock(detection_mutex_);
+      (*fn)();
+    }
+  }
+
+  void try_load_balance(std::size_t p, ThreadProc& proc,
+                        algo::ProcessorCore& core) {
+    std::optional<ode::MigrationPayload> payload;
+    Side side = Side::kLeft;
+    {
+      std::lock_guard<std::mutex> lock(proc.block_mutex);
+      if (!core.lb_trigger_due()) return;
+      if (proc.fault_plan) {
+        // Trigger skew: postpone an elapsed OkToTryLB countdown by a few
+        // iterations. Neighbors fall out of phase, so decisions act on
+        // piggybacked load estimates that lag reality by more iterations —
+        // exactly the staleness the balancer must tolerate.
+        const std::size_t skew = proc.fault_plan->lb_trigger_skew();
+        if (skew > 0) {
+          core.defer_lb(skew);
+          return;
+        }
+      }
+      const bool left_busy = p > 0 && lb_link_busy_[p - 1].load();
+      const bool right_busy = p + 1 < nprocs_ && lb_link_busy_[p].load();
+      const auto decision = core.plan_migration(left_busy, right_busy);
+      if (decision.action == lb::BalanceDecision::Action::kNone) return;
+      const bool to_left =
+          decision.action == lb::BalanceDecision::Action::kSendLeft;
+      side = to_left ? Side::kLeft : Side::kRight;
+      const std::size_t link = to_left ? p - 1 : p;
+      // Claim the link first so two neighbors cannot start crossing
+      // migrations; compare-exchange makes the claim atomic.
+      bool expected = false;
+      if (!lb_link_busy_[link].compare_exchange_strong(expected, true)) return;
+      payload = core.extract_migration(side, decision.amount);
+      if (!payload) {
+        lb_link_busy_[link].store(false);
+        return;
+      }
+    }
+    send_migration(p, side, std::move(*payload));
+  }
+
+  /// Rank 0 drives oracle detection: a lock-free precheck on the mirrors,
+  /// then the shared global probe over a quiescent view (every block lock
+  /// held, ascending rank order — one of only two multi-locks in the
+  /// program, both ascending, so no deadlock is possible).
+  void leader_oracle() {
+    for (const auto& proc : procs_)
+      if (!proc.locally_converged.load()) return;
+    for (std::size_t i = 0; i + 1 < nprocs_; ++i)
+      if (lb_link_busy_[i].load()) return;
+    for (const auto& proc : procs_)
+      if (!proc.lb_from_left.empty() || !proc.lb_from_right.empty()) return;
+    std::vector<std::unique_lock<std::mutex>> locks;
+    locks.reserve(nprocs_);
+    for (auto& proc : procs_) locks.emplace_back(proc.block_mutex);
+    // Re-check the links under the locks: a payload extracted after the
+    // precheck keeps its link busy until the receiver absorbs it, which
+    // needs the receiver's block lock — held here.
+    bool lb_in_flight = false;
+    for (std::size_t i = 0; i + 1 < nprocs_; ++i)
+      lb_in_flight = lb_in_flight || lb_link_busy_[i].load();
+    const algo::OracleSnapshot snap =
+        algo::oracle_probe(*fleet_, lb_in_flight, config_.tolerance);
+    if (!snap.converged) return;
+    // Audit trail for the no-early-detection invariant: record exactly
+    // what the probe verified at the instant it decided to halt.
+    detection_gap_ = snap.max_gap;
+    detection_max_residual_ = snap.max_residual;
+    halt_.store(true, std::memory_order_release);
+    locks.clear();
+    wake_all();
+  }
+
+  void idle_if_quiescent(ThreadProc& proc,
+                         const ode::WaveformBlock::IterationStats& stats) {
+    const bool no_progress =
+        stats.residual == 0.0 && stats.newton_iterations == 0;
+    if (!no_progress) return;
+    // Sleep until a message arrives or the bounded timeout fires.
+    //
+    // Drain-then-sleep audit (see tests/test_runtime_stress.cpp for the
+    // regression hammer): this check-empty-then-wait sequence cannot lose
+    // a wakeup because the predicate is re-evaluated under the Notifier's
+    // mutex and every push commits its value *before* notifying — a push
+    // landing between the drain and the wait is either seen by the
+    // predicate or wakes the wait. Rank 0 also runs the convergence
+    // detection, so its wait stays bounded (it must keep polling global
+    // state its own notifier is never poked for); an unbounded spin here
+    // used to starve the workers on a single-core host.
+    proc.notifier.wait_for(std::chrono::milliseconds(2), [&] {
+      return halt_.load() || proc.from_left.has_value() ||
+             proc.from_right.has_value() || !proc.lb_from_left.empty() ||
+             !proc.lb_from_right.empty() || !proc.control.empty();
+    });
+  }
+
+  void wait_for_neighbor_data(std::size_t p, ThreadProc& proc,
+                              algo::ProcessorCore& core) {
+    // SISC/SIAC readiness: both neighbors' data updated at (or after) our
+    // just-completed iteration must have been incorporated before the next
+    // one starts (paper §1.2).
+    const std::size_t needed = core.iteration();
+    const auto ready = [&] {
+      const bool left_ok =
+          p == 0 || core.data_iteration(Side::kLeft) >= needed;
+      const bool right_ok =
+          p + 1 == nprocs_ || core.data_iteration(Side::kRight) >= needed;
+      return left_ok && right_ok;
+    };
+    while (!halt_.load() && !ready()) {
+      proc.notifier.wait_for(std::chrono::milliseconds(100), [&] {
+        return halt_.load() || proc.from_left.has_value() ||
+               proc.from_right.has_value() || !proc.control.empty();
+      });
+      drain_control(proc);
+      std::lock_guard<std::mutex> lock(proc.block_mutex);
+      if (auto msg = proc.from_left.take())
+        core.ingest_boundary(Side::kLeft, *msg);
+      if (auto msg = proc.from_right.take())
+        core.ingest_boundary(Side::kRight, *msg);
+    }
+  }
+
+  EngineResult assemble_result(double wall_seconds) {
     EngineResult result;
     result.converged = halt_.load() && !failed_.load();
-    result.execution_time = std::chrono::duration<double>(t1 - t0).count();
+    result.execution_time = wall_seconds;
     // Drain any payload still sitting in a mailbox so the solution covers
     // every component (can only happen on a failure stop).
     for (std::size_t p = 0; p < nprocs_; ++p) {
+      algo::ProcessorCore& core = fleet_->core(p);
       while (auto payload = procs_[p].lb_from_left.try_pop())
-        procs_[p].block->absorb_from_left(*payload);
+        core.enqueue_migration(Side::kLeft, std::move(*payload));
       while (auto payload = procs_[p].lb_from_right.try_pop())
-        procs_[p].block->absorb_from_right(*payload);
+        core.enqueue_migration(Side::kRight, std::move(*payload));
+      core.drain_pending_migrations();
     }
-    result.solution = ode::Trajectory(system_.dimension(), config_.num_steps);
-    for (auto& proc : procs_) proc.block->copy_local_into(result.solution);
-    for (auto& proc : procs_) {
-      result.total_iterations += proc.iteration.load();
-      result.iterations_per_processor.push_back(proc.iteration.load());
-      result.final_components.push_back(proc.block->count());
-      result.total_work += proc.total_work;
-      result.data_messages += proc.data_messages;
-      result.migrations += proc.migrations_out;
-      result.components_migrated += proc.components_out;
-      result.bytes_sent += proc.bytes_out;
-      const double r = proc.residual.load();
-      if (!std::isinf(r))
-        result.final_max_residual = std::max(result.final_max_residual, r);
+    result.solution = ode::Trajectory(dimension_, config_.num_steps);
+    result.min_components_observed =
+        std::numeric_limits<std::size_t>::max();
+    for (std::size_t p = 0; p < nprocs_; ++p) {
+      const algo::ProcessorCore& core = fleet_->core(p);
+      core.block().copy_local_into(result.solution);
+      result.total_iterations += core.iteration();
+      result.iterations_per_processor.push_back(core.iteration());
+      result.final_components.push_back(core.components());
+      result.total_work += core.total_work();
+      result.migrations += core.migrations_out();
+      result.components_migrated += core.components_out();
+      result.bytes_sent += core.lb_bytes_out();
+      result.min_components_observed =
+          std::min(result.min_components_observed, core.min_components_seen());
+      if (!std::isinf(core.last_residual()))
+        result.final_max_residual =
+            std::max(result.final_max_residual, core.last_residual());
+      result.data_messages += procs_[p].data_messages;
+      result.bytes_sent += procs_[p].bytes_out;
     }
     result.lb_messages = result.migrations;
-    result.min_components_observed = procs_.empty() ? 0 : SIZE_MAX;
-    for (auto& proc : procs_)
-      result.min_components_observed =
-          std::min(result.min_components_observed, proc.min_components_seen);
+    result.control_messages = control_messages_;
+    result.bytes_sent += control_bytes_;
     result.detection_gap = detection_gap_;
     result.detection_max_residual = detection_max_residual_;
     if (injector_) {
@@ -190,302 +490,31 @@ class ThreadEngine {
     return result;
   }
 
- private:
-  void worker(std::size_t p) {
-    ThreadProc& proc = procs_[p];
-    while (!halt_.load(std::memory_order_acquire)) {
-      if (proc.fault_plan) {
-        // Transient slow-node stall, served at the iteration boundary
-        // where a real machine would lose the core to a competing job.
-        const auto stall = proc.fault_plan->compute_stall();
-        if (stall.count() > 0) std::this_thread::sleep_for(stall);
-      }
-      bool external_input = false;
-      ode::WaveformBlock::IterationStats stats;
-      ode::BoundaryMessage out_left;
-      ode::BoundaryMessage out_right;
-      {
-        std::lock_guard<std::mutex> lock(proc.block_mutex);
-        external_input |= absorb_migrations(p, proc);
-        external_input |= incorporate_boundaries(p, proc);
-        const auto start = Clock::now();
-        stats = proc.block->iterate();
-        proc.last_iteration_seconds =
-            std::chrono::duration<double>(Clock::now() - start).count();
-        if (p > 0) out_left = proc.block->boundary_for_left();
-        if (p + 1 < nprocs_) out_right = proc.block->boundary_for_right();
-      }
-      proc.min_components_seen =
-          std::min(proc.min_components_seen, proc.block->count());
-      proc.last_iteration_work = stats.work;
-      proc.total_work += stats.work;
-      proc.iteration.fetch_add(1);
-      proc.residual.store(stats.residual);
-      publish_load(proc);
-      if (stats.residual <= config_.tolerance && !external_input)
-        ++proc.under_tol_streak;
-      else if (stats.residual <= config_.tolerance)
-        proc.under_tol_streak = 1;
-      else
-        proc.under_tol_streak = 0;
-      proc.locally_converged.store(proc.under_tol_streak >=
-                                   config_.persistence);
-
-      send_boundaries(p, proc, out_left, out_right);
-      if (config_.load_balancing) try_load_balance(p, proc);
-      if (p == 0) leader_detection();
-
-      if (proc.iteration.load() >= config_.max_iterations_per_processor) {
-        failed_.store(true);
-        halt_.store(true, std::memory_order_release);
-        wake_all();
-        break;
-      }
-
-      if (config_.scheme == Scheme::kAIAC) {
-        idle_if_quiescent(p, proc, stats);
-      } else {
-        wait_for_neighbor_data(p, proc);
-      }
-    }
-  }
-
-  bool absorb_migrations(std::size_t p, ThreadProc& proc) {
-    bool any = false;
-    while (auto payload = proc.lb_from_left.try_pop()) {
-      proc.block->absorb_from_left(*payload);
-      lb_link_busy_[p - 1].store(false);
-      any = true;
-    }
-    while (auto payload = proc.lb_from_right.try_pop()) {
-      proc.block->absorb_from_right(*payload);
-      lb_link_busy_[p].store(false);
-      any = true;
-    }
-    return any;
-  }
-
-  bool incorporate_boundaries(std::size_t p, ThreadProc& proc) {
-    bool any = false;
-    if (auto msg = proc.from_left.take()) {
-      any |= proc.block->accept_left_ghosts(*msg);
-      proc.left_data_iteration =
-          std::max(proc.left_data_iteration, msg->sender_iteration);
-      proc.left_load = msg->sender_load;
-      (void)p;
-    }
-    if (auto msg = proc.from_right.take()) {
-      any |= proc.block->accept_right_ghosts(*msg);
-      proc.right_data_iteration =
-          std::max(proc.right_data_iteration, msg->sender_iteration);
-      proc.right_load = msg->sender_load;
-    }
-    return any;
-  }
-
-  void publish_load(ThreadProc& proc) {
-    lb::NodeLoadInputs inputs;
-    const double r = proc.residual.load();
-    inputs.residual = std::isinf(r) ? 1.0 : r;
-    inputs.last_iteration_seconds = proc.last_iteration_seconds;
-    inputs.last_iteration_work = proc.last_iteration_work;
-    inputs.components = proc.block->count();
-    proc.load.store(estimator_->estimate(inputs));
-  }
-
-  void send_boundaries(std::size_t p, ThreadProc& proc,
-                       ode::BoundaryMessage& left,
-                       ode::BoundaryMessage& right) {
-    const auto stamp = [&](ode::BoundaryMessage& msg) {
-      msg.sender_iteration = proc.iteration.load();
-      msg.sender_components = proc.block->count();
-      msg.sender_load = proc.load.load();
-      msg.sender_residual = proc.residual.load();
-    };
-    if (p > 0) {
-      stamp(left);
-      proc.bytes_out += left.byte_size();
-      ++proc.data_messages;
-      procs_[p - 1].from_right.put(std::move(left));
-    }
-    if (p + 1 < nprocs_) {
-      stamp(right);
-      proc.bytes_out += right.byte_size();
-      ++proc.data_messages;
-      procs_[p + 1].from_left.put(std::move(right));
-    }
-  }
-
-  void try_load_balance(std::size_t p, ThreadProc& proc) {
-    if (proc.ok_to_try_lb > 0) {
-      --proc.ok_to_try_lb;
-      return;
-    }
-    if (proc.fault_plan) {
-      // Trigger skew: postpone an elapsed OkToTryLB countdown by a few
-      // iterations. Neighbors fall out of phase, so decisions act on
-      // piggybacked load estimates that lag reality by more iterations —
-      // exactly the staleness the balancer must tolerate.
-      const std::size_t skew = proc.fault_plan->lb_trigger_skew();
-      if (skew > 0) {
-        proc.ok_to_try_lb = skew;
-        return;
-      }
-    }
-    lb::BalanceView view;
-    view.my_load = proc.load.load();
-    view.my_components = proc.block->count();
-    if (p > 0 && proc.left_load >= 0.0) {
-      view.left_load = proc.left_load;
-      view.left_link_busy = lb_link_busy_[p - 1].load();
-    }
-    if (p + 1 < nprocs_ && proc.right_load >= 0.0) {
-      view.right_load = proc.right_load;
-      view.right_link_busy = lb_link_busy_[p].load();
-    }
-    const auto decision = balancer_->decide(view);
-    if (decision.action == lb::BalanceDecision::Action::kNone) return;
-    const bool to_left =
-        decision.action == lb::BalanceDecision::Action::kSendLeft;
-    const std::size_t link = to_left ? p - 1 : p;
-
-    // Claim the link first so two neighbors cannot start crossing
-    // migrations; compare-exchange makes the claim atomic.
-    bool expected = false;
-    if (!lb_link_busy_[link].compare_exchange_strong(expected, true)) return;
-
-    std::optional<ode::MigrationPayload> payload;
-    {
-      std::lock_guard<std::mutex> lock(proc.block_mutex);
-      const std::size_t count = proc.block->count();
-      std::size_t amount = decision.amount;
-      if (count > min_keep_) amount = std::min(amount, count - min_keep_);
-      else amount = 0;
-      if (amount > 0) {
-        payload = to_left ? proc.block->extract_for_left(amount)
-                          : proc.block->extract_for_right(amount);
-      }
-      // Sample the famine invariant at its tightest point: immediately
-      // after the extraction, before the payload is even sent.
-      proc.min_components_seen =
-          std::min(proc.min_components_seen, proc.block->count());
-    }
-    if (!payload) {
-      lb_link_busy_[link].store(false);
-      return;
-    }
-    proc.ok_to_try_lb = config_.balancer.trigger_period;
-    ++proc.migrations_out;
-    proc.components_out += payload->owned_count;
-    proc.bytes_out += payload->byte_size();
-    AIAC_DEBUG("thread-lb") << "proc " << p << " sends "
-                            << payload->owned_count << " components "
-                            << (to_left ? "left" : "right");
-    if (to_left)
-      procs_[p - 1].lb_from_right.push(std::move(*payload));
-    else
-      procs_[p + 1].lb_from_left.push(std::move(*payload));
-  }
-
-  void leader_detection() {
-    for (const auto& proc : procs_)
-      if (!proc.locally_converged.load()) return;
-    for (std::size_t i = 0; i + 1 < nprocs_; ++i)
-      if (lb_link_busy_[i].load()) return;
-    for (const auto& proc : procs_)
-      if (!proc.lb_from_left.empty() || !proc.lb_from_right.empty()) return;
-    // Verify interface consistency under locks (ascending rank order; the
-    // only multi-lock in the program, so no deadlock is possible).
-    std::vector<std::unique_lock<std::mutex>> locks;
-    locks.reserve(nprocs_);
-    for (auto& proc : procs_)
-      locks.emplace_back(proc.block_mutex);
-    double max_gap = 0.0;
-    for (std::size_t pi = 0; pi + 1 < nprocs_; ++pi) {
-      const double gap =
-          procs_[pi].block->interface_gap_with_right(*procs_[pi + 1].block);
-      if (gap > config_.tolerance) return;
-      max_gap = std::max(max_gap, gap);
-    }
-    // Audit trail for the no-early-detection invariant: record exactly
-    // what the protocol verified at the instant it decided to halt (all
-    // block locks held, so no iteration is concurrently mutating state).
-    detection_gap_ = max_gap;
-    detection_max_residual_ = 0.0;
-    for (const auto& proc : procs_)
-      detection_max_residual_ =
-          std::max(detection_max_residual_, proc.residual.load());
-    halt_.store(true, std::memory_order_release);
-    locks.clear();
-    wake_all();
-  }
-
-  void idle_if_quiescent(std::size_t p, ThreadProc& proc,
-                         const ode::WaveformBlock::IterationStats& stats) {
-    const bool no_progress =
-        stats.residual == 0.0 && stats.newton_iterations == 0;
-    if (!no_progress) return;
-    // Sleep until a message arrives or the bounded timeout fires.
-    //
-    // Drain-then-sleep audit (see tests/test_runtime_stress.cpp for the
-    // regression hammer): this check-empty-then-wait sequence cannot lose
-    // a wakeup because the predicate is re-evaluated under the Notifier's
-    // mutex and every push commits its value *before* notifying — a push
-    // landing between the drain and the wait is either seen by the
-    // predicate or wakes the wait. Rank 0 also runs the convergence
-    // detection, so its wait stays bounded (it must keep polling global
-    // state its own notifier is never poked for); an unbounded spin here
-    // used to starve the workers on a single-core host.
-    (void)p;
-    proc.notifier.wait_for(std::chrono::milliseconds(2), [&] {
-      return halt_.load() || proc.from_left.has_value() ||
-             proc.from_right.has_value() || !proc.lb_from_left.empty() ||
-             !proc.lb_from_right.empty();
-    });
-  }
-
-  void wait_for_neighbor_data(std::size_t p, ThreadProc& proc) {
-    // SISC/SIAC readiness: both neighbors' data updated at (or after) our
-    // just-completed iteration must have been incorporated before the next
-    // one starts (paper §1.2).
-    const std::size_t needed = proc.iteration.load();
-    const auto ready = [&] {
-      const bool left_ok = p == 0 || proc.left_data_iteration >= needed;
-      const bool right_ok =
-          p + 1 == nprocs_ || proc.right_data_iteration >= needed;
-      return left_ok && right_ok;
-    };
-    while (!halt_.load() && !ready()) {
-      proc.notifier.wait_for(std::chrono::milliseconds(100), [&] {
-        return halt_.load() || proc.from_left.has_value() ||
-               proc.from_right.has_value();
-      });
-      std::lock_guard<std::mutex> lock(proc.block_mutex);
-      (void)incorporate_boundaries(p, proc);
-    }
-  }
-
-  const ode::OdeSystem& system_;
-  EngineConfig config_;
-  std::size_t nprocs_;
-  std::unique_ptr<lb::LoadEstimator> estimator_;
-  std::unique_ptr<lb::NeighborBalancer> balancer_;
-  std::size_t stencil_ = 0;
-  std::size_t min_keep_ = 0;
-  std::vector<ThreadProc> procs_;
-  std::unique_ptr<std::atomic<bool>[]> lb_link_busy_;
-  std::unique_ptr<runtime::FaultInjector> injector_;
-  trace::ExecutionTrace* trace_ = nullptr;
-  std::atomic<bool> halt_{false};
-  std::atomic<bool> failed_{false};
-  // Written once by rank 0 (in leader_detection, pre-halt), read after
-  // join; -1 marks "never converged".
-  double detection_gap_ = -1.0;
-  double detection_max_residual_ = -1.0;
-
   void wake_all() {
     for (auto& proc : procs_) proc.notifier.notify();
   }
+
+  EngineConfig config_;
+  std::size_t nprocs_;
+  std::size_t dimension_;
+  std::unique_ptr<algo::CoreFleet> fleet_;
+  std::vector<ThreadProc> procs_;
+  std::unique_ptr<std::atomic<bool>[]> lb_link_busy_;
+  std::unique_ptr<algo::DetectionProtocol> protocol_;
+  std::unique_ptr<runtime::FaultInjector> injector_;
+  trace::ExecutionTrace* trace_ = nullptr;
+  Clock::time_point t0_{};
+  std::atomic<bool> halt_{false};
+  std::atomic<bool> failed_{false};
+  /// Serializes every DetectionProtocol call (iteration-end hooks and the
+  /// drained delivery closures) and guards the control counters.
+  std::mutex detection_mutex_;
+  std::size_t control_messages_ = 0;
+  std::size_t control_bytes_ = 0;
+  // Written once by whichever thread takes the halt decision (all block
+  // locks held), read after join; -1 marks "never converged".
+  double detection_gap_ = -1.0;
+  double detection_max_residual_ = -1.0;
 };
 
 }  // namespace

@@ -27,9 +27,11 @@ namespace aiac::core {
 
 /// Runs the configured scheme on `processors` threads. `execution_time`
 /// in the result is wall-clock seconds. Timing-model fields of the config
-/// (iteration_overhead_work, early_send_fraction, detection) are ignored;
-/// detection is always the coordinator protocol with interface
-/// verification. When `config.faults.enabled`, the chaos layer perturbs
+/// (iteration_overhead_work, early_send_fraction) are ignored — durations
+/// are measured, never modeled. All DetectionModes and InitialPartitions
+/// are honored; the speed-weighted partition uses
+/// `config.processor_speeds` (empty means uniform, degenerating to the
+/// even split). When `config.faults.enabled`, the chaos layer perturbs
 /// deliveries/compute per the seeded fault plans; if `trace` is non-null,
 /// every injected fault is appended to it so the perturbed run stays
 /// explainable.

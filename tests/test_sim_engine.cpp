@@ -284,7 +284,10 @@ TEST(SimEngine, HitsIterationGuardWithoutConvergence) {
   const auto system = test_system();
   auto cluster = dedicated_cluster(3);
   auto config = base_config();
-  config.tolerance = 0.0;  // unreachable
+  // Strictly negative: a run can legitimately reach an exact bitwise
+  // fixed point (residual and interface gaps exactly 0.0), which a
+  // zero tolerance would accept.
+  config.tolerance = -1.0;
   config.max_iterations_per_processor = 20;
   const auto result = core::run_simulated(system, *cluster, config);
   EXPECT_FALSE(result.converged);

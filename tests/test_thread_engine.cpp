@@ -108,7 +108,10 @@ TEST(ThreadEngine, LoadBalancingPreservesComponentsAndSolution) {
 TEST(ThreadEngine, ReportsFailureWhenIterationBudgetExhausted) {
   const auto system = test_system(10);
   auto config = base_config();
-  config.tolerance = 0.0;  // unreachable
+  // Strictly negative: a run can legitimately reach an exact bitwise
+  // fixed point (residual and interface gaps exactly 0.0), which a
+  // zero tolerance would accept.
+  config.tolerance = -1.0;
   config.max_iterations_per_processor = 30;
   const auto result = core::run_threaded(system, 2, config);
   EXPECT_FALSE(result.converged);
