@@ -10,7 +10,7 @@
 // layer (delayed/stale boundary messages, migration jitter, compute
 // stalls, skewed balancing triggers) and watch the solution stay pinned:
 //
-//   ./build/examples/threaded_pm2_demo --threads=4 --chaos \
+//   ./build/examples/threaded_pm2_demo --threads=4 --chaos
 //       --chaos-intensity=2 --chaos-seed=7
 #include <iostream>
 

@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
 # CI pipeline: tier-1 (plain Release, full suite), then ThreadSanitizer and
-# AddressSanitizer+UBSan jobs over the runtime/chaos/algo-labelled tests
-# (the algo label covers the cross-backend engine-parity suite).
+# AddressSanitizer+UBSan jobs over the runtime/chaos/algo/check-labelled
+# tests (the algo label covers the cross-backend engine-parity suite, the
+# check label the model-checker suite), then static analysis.
 #
 #   scripts/ci.sh            # everything
 #   scripts/ci.sh tier1      # just the plain build + full ctest
 #   scripts/ci.sh tsan       # just the TSan job
 #   scripts/ci.sh asan       # just the ASan+UBSan job
+#   scripts/ci.sh lint       # clang-tidy over compile_commands.json, or a
+#                            # -Werror build when clang-tidy is unavailable
 #
 # The sanitizer jobs run a reduced chaos sweep (AIAC_CHAOS_SEEDS): the
 # instrumented builds are ~10x slower and the 200-seed property sweep
@@ -28,8 +31,11 @@ tsan() {
   echo "==> TSan: runtime + chaos labelled tests"
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Tsan >/dev/null
   cmake --build build-tsan -j"$jobs"
-  AIAC_CHAOS_SEEDS="${AIAC_CHAOS_SEEDS:-25}" TSAN_OPTIONS="halt_on_error=1" \
-    ctest --test-dir build-tsan -L 'chaos|runtime|algo' --output-on-failure
+  AIAC_CHAOS_SEEDS="${AIAC_CHAOS_SEEDS:-25}" \
+  AIAC_CHECK_SCHEDULES="${AIAC_CHECK_SCHEDULES:-200}" \
+  TSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir build-tsan -L 'chaos|runtime|algo|check' \
+      --output-on-failure
 }
 
 asan() {
@@ -37,15 +43,42 @@ asan() {
   cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Asan >/dev/null
   cmake --build build-asan -j"$jobs"
   AIAC_CHAOS_SEEDS="${AIAC_CHAOS_SEEDS:-25}" \
+  AIAC_CHECK_SCHEDULES="${AIAC_CHECK_SCHEDULES:-200}" \
   ASAN_OPTIONS="detect_leaks=1" UBSAN_OPTIONS="halt_on_error=1" \
-    ctest --test-dir build-asan -L 'chaos|runtime|algo' --output-on-failure
+    ctest --test-dir build-asan -L 'chaos|runtime|algo|check' \
+      --output-on-failure
+}
+
+lint() {
+  echo "==> lint: static analysis"
+  cmake -B build -S . >/dev/null   # exports compile_commands.json
+  local tidy=""
+  for candidate in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
+                   clang-tidy-15 clang-tidy-14; do
+    if command -v "$candidate" >/dev/null 2>&1; then
+      tidy="$candidate"
+      break
+    fi
+  done
+  if [ -n "$tidy" ]; then
+    echo "==> lint: $tidy over src/ and tools/"
+    # shellcheck disable=SC2046
+    "$tidy" -p build --quiet \
+      $(find src tools -name '*.cpp' ! -path '*/build/*')
+  else
+    echo "==> lint: clang-tidy not found; falling back to -Werror build"
+    cmake -B build-lint -S . -DAIAC_WERROR=ON >/dev/null
+    cmake --build build-lint -j"$jobs"
+  fi
+  echo "==> lint: clean"
 }
 
 case "$stage" in
   tier1) tier1 ;;
   tsan) tsan ;;
   asan) asan ;;
-  all) tier1; tsan; asan ;;
-  *) echo "unknown stage: $stage (tier1|tsan|asan|all)" >&2; exit 2 ;;
+  lint) lint ;;
+  all) tier1; tsan; asan; lint ;;
+  *) echo "unknown stage: $stage (tier1|tsan|asan|lint|all)" >&2; exit 2 ;;
 esac
 echo "==> ci: all requested stages green"

@@ -16,6 +16,14 @@ std::vector<std::size_t> build_partition(const PartitionSpec& spec) {
         "build_partition: speeds size (" + std::to_string(spec.speeds.size()) +
         ") does not match processor count (" +
         std::to_string(spec.processors) + ")");
+  // Validate speeds in every mode, not just kSpeedWeighted: a zero or
+  // negative speed is a broken config either way (the even mode merely
+  // ignores it today, but the model checker and callers treat speeds as a
+  // description of the deployment and must be able to rely on it).
+  for (double s : spec.speeds)
+    if (!(s > 0.0))
+      throw std::invalid_argument(
+          "build_partition: processor speeds must be strictly positive");
 
   std::vector<std::size_t> starts;
   if (spec.mode == InitialPartition::kSpeedWeighted) {

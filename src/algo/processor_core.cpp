@@ -147,8 +147,13 @@ lb::BalanceDecision ProcessorCore::plan_migration(bool left_link_busy,
 std::optional<ode::MigrationPayload> ProcessorCore::extract_migration(
     Side toward, std::size_t amount) {
   const std::size_t count = block_.count();
-  if (count <= params_.min_keep) return std::nullopt;
-  amount = std::min(amount, count - params_.min_keep);
+  // min_keep is the famine guard; the structural floor of one owned
+  // component (WaveformBlock::extract_* requires k < count) is all that
+  // remains when the test-only mutation disables the guard.
+  const std::size_t keep =
+      mutation::famine_guard_disabled() ? 1 : params_.min_keep;
+  if (count <= keep) return std::nullopt;
+  amount = std::min(amount, count - keep);
   if (amount == 0) return std::nullopt;
   auto payload = toward == Side::kLeft ? block_.extract_for_left(amount)
                                        : block_.extract_for_right(amount);
@@ -171,6 +176,13 @@ void ProcessorCore::drain_pending_migrations() {
     block_.absorb_from_right(pending_from_right_.front());
     pending_from_right_.pop_front();
   }
+}
+
+std::size_t ProcessorCore::pending_migration_components() const noexcept {
+  std::size_t total = 0;
+  for (const auto& payload : pending_from_left_) total += payload.owned_count;
+  for (const auto& payload : pending_from_right_) total += payload.owned_count;
+  return total;
 }
 
 double ProcessorCore::current_load() const {
@@ -215,5 +227,19 @@ CoreFleet::CoreFleet(const ode::OdeSystem& system, const FleetConfig& config) {
                         *balancer_);
   }
 }
+
+namespace mutation {
+
+namespace {
+bool g_disable_famine_guard = false;
+}  // namespace
+
+void set_disable_famine_guard(bool disabled) noexcept {
+  g_disable_famine_guard = disabled;
+}
+
+bool famine_guard_disabled() noexcept { return g_disable_famine_guard; }
+
+}  // namespace mutation
 
 }  // namespace aiac::algo

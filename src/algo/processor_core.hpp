@@ -173,6 +173,11 @@ class ProcessorCore {
   bool has_pending_migrations() const noexcept {
     return !pending_from_left_.empty() || !pending_from_right_.empty();
   }
+  /// Components delivered but not yet absorbed (queued migrations). The
+  /// model checker's conservation invariant counts these: every component
+  /// is owned by a block, queued at a receiver, or in transit — never two
+  /// of those at once.
+  std::size_t pending_migration_components() const noexcept;
   /// Highest neighbor iteration whose data was delivered from `side`.
   std::size_t data_iteration(Side side) const noexcept {
     return side == Side::kLeft ? left_data_iteration_ : right_data_iteration_;
@@ -263,5 +268,31 @@ class CoreFleet {
   std::size_t min_keep_ = 0;
   std::deque<ProcessorCore> cores_;  // address-stable, cores are pinned
 };
+
+/// Test-only algorithm mutations for the model checker's self-tests
+/// (tests/test_model_check.cpp): deliberately breaking a guard and
+/// asserting the checker reports the violation proves the detector has
+/// teeth. Process-global, not thread-safe — flip only in single-threaded
+/// test code, never in production paths.
+namespace mutation {
+
+/// While true, ProcessorCore::extract_migration ignores the famine guard
+/// (params_.min_keep) and clamps only to the structural floor of one
+/// owned component, so a migration can starve the sender.
+void set_disable_famine_guard(bool disabled) noexcept;
+bool famine_guard_disabled() noexcept;
+
+/// RAII guard so a throwing test cannot leak the mutation into later
+/// tests.
+class ScopedFamineGuardDisabled {
+ public:
+  ScopedFamineGuardDisabled() { set_disable_famine_guard(true); }
+  ~ScopedFamineGuardDisabled() { set_disable_famine_guard(false); }
+  ScopedFamineGuardDisabled(const ScopedFamineGuardDisabled&) = delete;
+  ScopedFamineGuardDisabled& operator=(const ScopedFamineGuardDisabled&) =
+      delete;
+};
+
+}  // namespace mutation
 
 }  // namespace aiac::algo

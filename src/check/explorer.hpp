@@ -1,0 +1,121 @@
+// Schedule exploration over the checked model.
+//
+// Two strategies, both stateless (every schedule re-executes the model
+// from its initial state, CHESS-style):
+//
+//  * exhaustive — depth-first enumeration of the full decision tree up to
+//    an action budget per run: the next schedule is the deepest point of
+//    the previous one with an untried alternative. Feasible for tiny
+//    configs (2–3 processors, short horizons), where it is a proof over
+//    every delivery/step interleaving the model can express;
+//  * random — seeded uniform choice at every decision point, for
+//    paper-scale configs. Deterministic per seed; a failing run is
+//    recorded as a replayable schedule and greedily shrunk.
+//
+// Shrinking deletes entries and lowers choice indices while the same
+// invariant still fires, so a hundred-action failure typically reduces to
+// the handful of scheduling decisions that actually matter.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "check/invariants.hpp"
+#include "check/model.hpp"
+#include "check/schedule.hpp"
+
+namespace aiac::check {
+
+/// Outcome of executing one schedule to completion (halt, quiescence,
+/// budget, or first invariant violation — whichever comes first).
+struct RunResult {
+  /// Config + the choices actually taken, with action descriptions; the
+  /// note carries the violation (or "clean"). Save/replay this.
+  Schedule schedule;
+  /// Empty when the run was clean; otherwise the violations observed at
+  /// the stopping decision point (the run stops at the first one).
+  std::vector<Violation> violations;
+  std::size_t actions = 0;
+  bool halted = false;
+  bool hit_action_budget = false;
+
+  bool violated() const noexcept { return !violations.empty(); }
+};
+
+struct RunOptions {
+  /// Choices forced at the first `forced.size()` decision points.
+  std::vector<std::size_t> forced;
+  /// Picks the choice beyond the forced prefix, given the enabled-action
+  /// count (>= 1). Defaults to always 0.
+  std::function<std::size_t(std::size_t)> chooser;
+  std::size_t max_actions = 200;
+  /// Stop when the forced prefix is exhausted (strict replay semantics)
+  /// instead of continuing with the chooser.
+  bool stop_after_forced = false;
+  /// Throw std::runtime_error when a forced choice is out of range or a
+  /// recorded action description no longer matches (replay divergence).
+  /// When false, out-of-range choices wrap (choice % enabled), which is
+  /// what lets shrinking re-interpret a perturbed prefix.
+  bool strict = false;
+  /// Recorded action descriptions to verify against (with strict).
+  const std::vector<std::string>* expected_actions = nullptr;
+  /// When set, receives the enabled-action count at every decision point
+  /// (the DFS backtracker consumes this).
+  std::vector<std::size_t>* fanout_out = nullptr;
+};
+
+/// Executes one schedule. Invariants are evaluated after every applied
+/// action; the first violation stops the run.
+RunResult run_schedule(const ModelConfig& config, const InvariantSuite& suite,
+                       const RunOptions& options);
+
+struct ExploreOptions {
+  /// Depth bound: actions per run.
+  std::size_t max_actions = 200;
+  /// Run budget (exhaustive: enumeration cap; random: number of seeds).
+  std::size_t max_schedules = 10000;
+  /// Base seed for random exploration (run i derives its own stream).
+  std::uint64_t seed = 1;
+  /// Greedy shrink attempt budget for a recorded failure; 0 disables.
+  std::size_t shrink_attempts = 400;
+};
+
+struct ExploreReport {
+  std::size_t schedules_explored = 0;
+  /// Exhaustive only: the decision tree was fully enumerated within the
+  /// schedule budget (every run still being depth-bounded by
+  /// max_actions).
+  bool complete = false;
+  std::size_t runs_hitting_action_budget = 0;
+  std::size_t schedules_with_violations = 0;
+  std::size_t max_enabled_actions = 0;
+  /// First failing run, as recorded (replayable).
+  std::optional<RunResult> first_failure;
+  /// The same failure after greedy shrinking (when enabled and found).
+  std::optional<RunResult> shrunk_failure;
+};
+
+ExploreReport explore_exhaustive(const ModelConfig& config,
+                                 const InvariantSuite& suite,
+                                 const ExploreOptions& options);
+
+ExploreReport explore_random(const ModelConfig& config,
+                             const InvariantSuite& suite,
+                             const ExploreOptions& options);
+
+/// Strict replay of a recorded schedule: forces every recorded choice,
+/// verifies every action description, stops where the recording stopped.
+/// Throws std::runtime_error on divergence.
+RunResult replay(const Schedule& schedule, const InvariantSuite& suite);
+
+/// Greedy shrink of a failing schedule: entry deletion and choice
+/// lowering, keeping a candidate only while the same invariant still
+/// fires. Returns the smallest failure found (the input itself when no
+/// shrink succeeds).
+RunResult shrink_failure(const Schedule& failing, const InvariantSuite& suite,
+                         const ExploreOptions& options);
+
+}  // namespace aiac::check

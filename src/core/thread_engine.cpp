@@ -18,6 +18,7 @@
 #include "algo/runtime_ifaces.hpp"
 #include "runtime/fault_injector.hpp"
 #include "runtime/mailbox.hpp"
+#include "runtime/ordered_mutex.hpp"
 #include "runtime/notifier.hpp"
 #include "runtime/thread_team.hpp"
 #include "trace/execution_trace.hpp"
@@ -35,7 +36,10 @@ using algo::Side;
 /// only holds the channels, the notifier, lock-free mirrors of core state
 /// for cross-thread reads, and owner-thread counters.
 struct ThreadProc {
-  std::mutex block_mutex;  // Algorithm 7: "if not accessing data array"
+  /// Algorithm 7: "if not accessing data array". Rank 2 + p in the
+  /// engine's lock order (see runtime/ordered_mutex.hpp), so the two
+  /// all-block multi-locks are ascending by machine-checked construction.
+  runtime::OrderedMutex block_mutex;
   runtime::Notifier notifier;
   runtime::SlotBox<ode::BoundaryMessage> from_left{&notifier};
   runtime::SlotBox<ode::BoundaryMessage> from_right{&notifier};
@@ -97,6 +101,12 @@ class ThreadEngine final : public algo::Transport,
     fleet_ = std::make_unique<algo::CoreFleet>(system, fc);
 
     procs_ = std::vector<ThreadProc>(processors);
+    // Lock-order ranks: detection mutex below every block mutex (a
+    // detection closure may broadcast the halt, which takes all block
+    // locks), block mutexes ascending by processor.
+    detection_mutex_.set_rank(1);
+    for (std::size_t p = 0; p < processors; ++p)
+      procs_[p].block_mutex.set_rank(static_cast<unsigned>(2 + p));
     lb_link_busy_ =
         std::make_unique<std::atomic<bool>[]>(processors > 1 ? processors - 1
                                                              : 1);
@@ -209,7 +219,7 @@ class ThreadEngine final : public algo::Transport,
   /// not interface consistency; record what actually held over a
   /// quiescent view, then bring every thread down.
   void broadcast_halt() override {
-    std::vector<std::unique_lock<std::mutex>> locks;
+    std::vector<std::unique_lock<runtime::OrderedMutex>> locks;
     locks.reserve(nprocs_);
     for (auto& proc : procs_) locks.emplace_back(proc.block_mutex);
     const algo::OracleSnapshot snap = algo::measured_audit(*fleet_);
@@ -245,7 +255,7 @@ class ThreadEngine final : public algo::Transport,
       double residual = 0.0;
       bool converged = false;
       {
-        std::lock_guard<std::mutex> lock(proc.block_mutex);
+        std::lock_guard<runtime::OrderedMutex> lock(proc.block_mutex);
         while (auto payload = proc.lb_from_left.try_pop())
           core.enqueue_migration(Side::kLeft, std::move(*payload));
         while (auto payload = proc.lb_from_right.try_pop())
@@ -284,7 +294,7 @@ class ThreadEngine final : public algo::Transport,
       if (config_.detection == DetectionMode::kOracle) {
         if (p == 0) leader_oracle();
       } else {
-        std::lock_guard<std::mutex> lock(detection_mutex_);
+        std::lock_guard<runtime::OrderedMutex> lock(detection_mutex_);
         protocol_->on_iteration_end(p);
       }
 
@@ -307,7 +317,7 @@ class ThreadEngine final : public algo::Transport,
   /// halt decision, which takes every block lock.
   void drain_control(ThreadProc& proc) {
     while (auto fn = proc.control.try_pop()) {
-      std::lock_guard<std::mutex> lock(detection_mutex_);
+      std::lock_guard<runtime::OrderedMutex> lock(detection_mutex_);
       (*fn)();
     }
   }
@@ -317,7 +327,7 @@ class ThreadEngine final : public algo::Transport,
     std::optional<ode::MigrationPayload> payload;
     Side side = Side::kLeft;
     {
-      std::lock_guard<std::mutex> lock(proc.block_mutex);
+      std::lock_guard<runtime::OrderedMutex> lock(proc.block_mutex);
       if (!core.lb_trigger_due()) return;
       if (proc.fault_plan) {
         // Trigger skew: postpone an elapsed OkToTryLB countdown by a few
@@ -362,7 +372,7 @@ class ThreadEngine final : public algo::Transport,
       if (lb_link_busy_[i].load()) return;
     for (const auto& proc : procs_)
       if (!proc.lb_from_left.empty() || !proc.lb_from_right.empty()) return;
-    std::vector<std::unique_lock<std::mutex>> locks;
+    std::vector<std::unique_lock<runtime::OrderedMutex>> locks;
     locks.reserve(nprocs_);
     for (auto& proc : procs_) locks.emplace_back(proc.block_mutex);
     // Re-check the links under the locks: a payload extracted after the
@@ -425,7 +435,7 @@ class ThreadEngine final : public algo::Transport,
                proc.from_right.has_value() || !proc.control.empty();
       });
       drain_control(proc);
-      std::lock_guard<std::mutex> lock(proc.block_mutex);
+      std::lock_guard<runtime::OrderedMutex> lock(proc.block_mutex);
       if (auto msg = proc.from_left.take())
         core.ingest_boundary(Side::kLeft, *msg);
       if (auto msg = proc.from_right.take())
@@ -508,7 +518,7 @@ class ThreadEngine final : public algo::Transport,
   std::atomic<bool> failed_{false};
   /// Serializes every DetectionProtocol call (iteration-end hooks and the
   /// drained delivery closures) and guards the control counters.
-  std::mutex detection_mutex_;
+  runtime::OrderedMutex detection_mutex_;
   std::size_t control_messages_ = 0;
   std::size_t control_bytes_ = 0;
   // Written once by whichever thread takes the halt decision (all block

@@ -29,7 +29,8 @@ TEST(Simulator, SimultaneousEventsAreFifo) {
   for (int i = 0; i < 10; ++i)
     sim.schedule_at(1.0, [&order, i] { order.push_back(i); });
   sim.run();
-  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+  for (int i = 0; i < 10; ++i)
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
 }
 
 TEST(Simulator, EventsCanScheduleEvents) {

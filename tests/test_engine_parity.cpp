@@ -103,9 +103,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(Scheme::kSISC, Scheme::kSIAC,
                                          Scheme::kAIAC),
                        ::testing::Bool()),
-    [](const auto& info) {
-      return std::string(core::to_string(std::get<0>(info.param))) +
-             (std::get<1>(info.param) ? "_LB" : "_NoLB");
+    [](const auto& param_info) {
+      return std::string(core::to_string(std::get<0>(param_info.param))) +
+             (std::get<1>(param_info.param) ? "_LB" : "_NoLB");
     });
 
 class ThreadedDetection : public ::testing::TestWithParam<DetectionMode> {};
@@ -128,8 +128,9 @@ TEST_P(ThreadedDetection, ThreadedBackendHonorsProtocolModes) {
 INSTANTIATE_TEST_SUITE_P(Protocols, ThreadedDetection,
                          ::testing::Values(DetectionMode::kCoordinator,
                                            DetectionMode::kTokenRing),
-                         [](const auto& info) {
-                           return info.param == DetectionMode::kCoordinator
+                         [](const auto& param_info) {
+                           return param_info.param ==
+                                          DetectionMode::kCoordinator
                                       ? "coordinator"
                                       : "TokenRing";
                          });

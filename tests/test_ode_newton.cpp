@@ -115,8 +115,9 @@ TEST(BlockNewton, PartitionedBlocksWithExactGhostsMatchFullSolve) {
   (void)block_implicit_euler_step(sys, 0, prev, full, ghost, ghost, dt, dt);
 
   const std::size_t half = n / 2;
-  std::vector<double> left(prev.begin(), prev.begin() + half);
-  std::vector<double> right(prev.begin() + half, prev.end());
+  const auto half_off = static_cast<std::ptrdiff_t>(half);
+  std::vector<double> left(prev.begin(), prev.begin() + half_off);
+  std::vector<double> right(prev.begin() + half_off, prev.end());
   std::vector<double> prev_left(left), prev_right(right);
   for (int sweep = 0; sweep < 50; ++sweep) {
     std::vector<double> gl(2, 0.0);

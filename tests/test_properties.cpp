@@ -114,8 +114,8 @@ class PartitionProperty
 
 TEST_P(PartitionProperty, EvenPartitionInvariants) {
   const auto [total_raw, parts_raw] = GetParam();
-  const std::size_t parts = 1 + parts_raw % 16;
-  const std::size_t total = parts + total_raw % 500;
+  const auto parts = static_cast<std::size_t>(1 + parts_raw % 16);
+  const std::size_t total = parts + static_cast<std::size_t>(total_raw % 500);
   const auto starts = ode::even_partition(total, parts);
   ASSERT_EQ(starts.size(), parts + 1);
   EXPECT_EQ(starts.front(), 0u);
@@ -132,8 +132,9 @@ TEST_P(PartitionProperty, EvenPartitionInvariants) {
 
 TEST_P(PartitionProperty, SpeedWeightedInvariants) {
   const auto [total_raw, parts_raw] = GetParam();
-  const std::size_t parts = 1 + parts_raw % 8;
-  const std::size_t total = 4 * parts + total_raw % 500;
+  const auto parts = static_cast<std::size_t>(1 + parts_raw % 8);
+  const std::size_t total =
+      4 * parts + static_cast<std::size_t>(total_raw % 500);
   util::Rng rng(static_cast<std::uint64_t>(total_raw * 31 + parts_raw));
   std::vector<double> speeds(parts);
   for (auto& s : speeds) s = rng.uniform(0.5, 5.0);
@@ -189,7 +190,7 @@ TEST(RngProperty, UniformIntIsRoughlyUniform) {
   constexpr int kSamples = 100000;
   std::vector<int> counts(kBuckets, 0);
   for (int i = 0; i < kSamples; ++i)
-    counts[rng.uniform_int(0, kBuckets - 1)] += 1;
+    counts[static_cast<std::size_t>(rng.uniform_int(0, kBuckets - 1))] += 1;
   const double expected = static_cast<double>(kSamples) / kBuckets;
   double chi2 = 0.0;
   for (int c : counts)
@@ -227,7 +228,7 @@ class DiffusionProperty : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(DiffusionProperty, ConservationAndContractionOnRandomGraphs) {
   util::Rng rng(GetParam());
-  const std::size_t n = 4 + rng.uniform_int(0, 12);
+  const std::size_t n = 4 + static_cast<std::size_t>(rng.uniform_int(0, 12));
   // Random connected graph: a chain plus random chords.
   auto graph = lb::ProcessorGraph::chain(n);
   for (int extra = 0; extra < 3; ++extra) {

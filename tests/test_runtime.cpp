@@ -8,6 +8,7 @@
 #include "runtime/barrier.hpp"
 #include "runtime/mailbox.hpp"
 #include "runtime/notifier.hpp"
+#include "runtime/ordered_mutex.hpp"
 #include "runtime/thread_team.hpp"
 
 namespace {
@@ -111,6 +112,86 @@ TEST(Notifier, WaitTimesOutWhenNothingHappens) {
   const bool result = notifier.wait_for(std::chrono::milliseconds(20),
                                         [] { return false; });
   EXPECT_FALSE(result);
+}
+
+TEST(OrderedMutex, AscendingAcquisitionIsAllowed) {
+  OrderedMutex low(1);
+  OrderedMutex mid(2);
+  OrderedMutex high(3);
+  std::lock_guard<OrderedMutex> a(low);
+  std::lock_guard<OrderedMutex> b(mid);
+  std::lock_guard<OrderedMutex> c(high);
+  EXPECT_EQ(low.rank(), 1u);
+  EXPECT_EQ(high.rank(), 3u);
+}
+
+TEST(OrderedMutex, ReacquireAfterReleaseIsAllowed) {
+  OrderedMutex low(1);
+  OrderedMutex high(2);
+  {
+    std::lock_guard<OrderedMutex> a(low);
+    std::lock_guard<OrderedMutex> b(high);
+  }
+  // Holding nothing again: the low rank is fine now.
+  std::lock_guard<OrderedMutex> a(low);
+}
+
+TEST(OrderedMutex, OutOfOrderReleaseIsAllowed) {
+  // unique_lock collections release in destruction order, which can invert
+  // the acquisition order; only *acquisition* order is ranked.
+  OrderedMutex low(1);
+  OrderedMutex high(2);
+  std::unique_lock<OrderedMutex> a(low);
+  std::unique_lock<OrderedMutex> b(high);
+  a.unlock();
+  b.unlock();
+  std::lock_guard<OrderedMutex> c(low);
+}
+
+TEST(OrderedMutex, TryLockContendedDoesNotRecordRank) {
+  OrderedMutex m(5);
+  m.lock();
+  std::thread t([&m] {
+    EXPECT_FALSE(m.try_lock());
+    // The failed try_lock must not have polluted this thread's held set:
+    // acquiring a lower rank afterwards is still legal.
+    OrderedMutex low(1);
+    std::lock_guard<OrderedMutex> g(low);
+  });
+  t.join();
+  m.unlock();
+}
+
+using OrderedMutexDeathTest = ::testing::Test;
+
+TEST(OrderedMutexDeathTest, InvertedAcquisitionAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  OrderedMutex low(1);
+  OrderedMutex high(2);
+  EXPECT_DEATH(
+      {
+        std::lock_guard<OrderedMutex> a(high);
+        std::lock_guard<OrderedMutex> b(low);
+      },
+      "lock-order violation: acquiring rank 1 while holding rank 2");
+}
+
+TEST(OrderedMutexDeathTest, EqualRankAcquisitionAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  OrderedMutex a(3);
+  OrderedMutex b(3);
+  EXPECT_DEATH(
+      {
+        std::lock_guard<OrderedMutex> ga(a);
+        std::lock_guard<OrderedMutex> gb(b);
+      },
+      "lock-order violation: acquiring rank 3 while holding rank 3");
+}
+
+TEST(OrderedMutexDeathTest, ForeignUnlockAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  OrderedMutex m(4);
+  EXPECT_DEATH(m.unlock(), "unlocking rank 4 this thread does not hold");
 }
 
 }  // namespace

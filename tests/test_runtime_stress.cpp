@@ -75,7 +75,8 @@ TEST(MailboxStress, MultiProducerPreservesPerProducerFifoUnderJitter) {
   ASSERT_EQ(received.size(), kProducers * kPerProducer);
   std::vector<int> next(kProducers, 0);
   for (int value : received) {
-    const std::size_t producer = value / kPerProducer;
+    const std::size_t producer =
+        static_cast<std::size_t>(value / kPerProducer);
     const int seq = value % kPerProducer;
     EXPECT_EQ(seq, next[producer]);
     next[producer] = seq + 1;

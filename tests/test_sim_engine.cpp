@@ -323,9 +323,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(Scheme::kSISC, Scheme::kSIAC,
                                          Scheme::kAIAC),
                        ::testing::Bool()),
-    [](const auto& info) {
-      return core::to_string(std::get<0>(info.param)) +
-             std::string(std::get<1>(info.param) ? "_LB" : "_NoLB");
+    [](const auto& param_info) {
+      return core::to_string(std::get<0>(param_info.param)) +
+             std::string(std::get<1>(param_info.param) ? "_LB" : "_NoLB");
     });
 
 }  // namespace
