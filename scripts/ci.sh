@@ -10,6 +10,11 @@
 #   scripts/ci.sh asan       # just the ASan+UBSan job
 #   scripts/ci.sh lint       # clang-tidy over compile_commands.json, or a
 #                            # -Werror build when clang-tidy is unavailable
+#   scripts/ci.sh bench-smoke  # quick kernel bench vs the checked-in
+#                              # BENCH_kernels.json baseline; fails on
+#                              # allocation-count or speedup regressions
+#                              # (>25%), and on raw-ns regressions when
+#                              # AIAC_BENCH_STRICT_NS=1
 #
 # The sanitizer jobs run a reduced chaos sweep (AIAC_CHAOS_SEEDS): the
 # instrumented builds are ~10x slower and the 200-seed property sweep
@@ -73,12 +78,26 @@ lint() {
   echo "==> lint: clean"
 }
 
+bench_smoke() {
+  echo "==> bench-smoke: quick kernel bench vs checked-in baseline"
+  cmake -B build -S . >/dev/null
+  cmake --build build -j"$jobs" --target bench_kernels
+  # Hardware-normalized metrics (allocs/step, chord/workspace speedup
+  # ratios) always gate; raw nanoseconds only gate when the runner class
+  # matches the baseline machine (AIAC_BENCH_STRICT_NS=1).
+  ./build/bench/bench_kernels --quick \
+    --out=build/BENCH_kernels_smoke.json \
+    --baseline=BENCH_kernels.json
+}
+
 case "$stage" in
   tier1) tier1 ;;
   tsan) tsan ;;
   asan) asan ;;
   lint) lint ;;
-  all) tier1; tsan; asan; lint ;;
-  *) echo "unknown stage: $stage (tier1|tsan|asan|lint|all)" >&2; exit 2 ;;
+  bench-smoke) bench_smoke ;;
+  all) tier1; tsan; asan; lint; bench_smoke ;;
+  *) echo "unknown stage: $stage (tier1|tsan|asan|lint|bench-smoke|all)" >&2
+     exit 2 ;;
 esac
 echo "==> ci: all requested stages green"

@@ -32,15 +32,62 @@ void DetectionProtocol::on_iteration_end(std::size_t rank) {
 
 void DetectionProtocol::coordinator_report(std::size_t rank) {
   const bool now_converged = driver_->locally_converged(rank);
-  if (now_converged == reported_[rank]) return;
+  if (now_converged == reported_[rank]) {
+    // Heartbeat: a still-converged node pings the coordinator at every
+    // iteration end. It re-arms verification after an aborted round —
+    // without it, a round aborted by a node that was mid-iteration would
+    // never retry once that node settles without flipping its report.
+    if (now_converged)
+      transport_->post_control(rank, 0,
+                               [this] { maybe_begin_verification(); });
+    return;
+  }
   reported_[rank] = now_converged;
   transport_->post_control(rank, 0, [this, rank, now_converged] {
     if (halting_) return;
     coordinator_view_[rank] = now_converged;
-    if (std::all_of(coordinator_view_.begin(), coordinator_view_.end(),
-                    [](bool b) { return b; }))
-      halt();
+    if (!now_converged) {
+      // A node left convergence: abort any in-flight verification.
+      verifying_ = false;
+      verify_rearm_ = false;
+      ++verify_epoch_;
+      return;
+    }
+    maybe_begin_verification();
   });
+}
+
+void DetectionProtocol::maybe_begin_verification() {
+  if (halting_) return;
+  if (verifying_) {
+    verify_rearm_ = true;
+    return;
+  }
+  if (!std::all_of(coordinator_view_.begin(), coordinator_view_.end(),
+                   [](bool b) { return b; }))
+    return;
+  verifying_ = true;
+  verify_rearm_ = false;
+  verify_acks_ = 0;
+  const std::size_t epoch = ++verify_epoch_;
+  for (std::size_t r = 0; r < processors_; ++r) {
+    // Request evaluated at the destination when the control message
+    // lands; the ack carries the verdict back to rank 0.
+    transport_->post_control(0, r, [this, r, epoch] {
+      if (halting_ || epoch != verify_epoch_) return;
+      const bool ok = driver_->confirm_converged(r);
+      transport_->post_control(r, 0, [this, epoch, ok] {
+        if (halting_ || epoch != verify_epoch_) return;
+        if (!ok) {
+          verifying_ = false;
+          ++verify_epoch_;
+          if (verify_rearm_) maybe_begin_verification();
+          return;
+        }
+        if (++verify_acks_ == processors_) halt();
+      });
+    });
+  }
 }
 
 void DetectionProtocol::handle_token(std::size_t rank) {

@@ -39,6 +39,20 @@ class DetectionDriver {
   /// runs one more iteration).
   virtual bool node_idle(std::size_t rank) const = 0;
 
+  /// Evaluated at `rank` when a coordinator verification request is
+  /// delivered (see coordinator verification below): may this node confirm
+  /// its convergence report right now? The default repeats
+  /// locally_converged; drivers strengthen it with whatever local state
+  /// the delivery context can read safely — the simulated driver also
+  /// vetoes when a delivered-but-unfolded boundary update would move the
+  /// ghost rows by more than the tolerance, so the in-flight data that
+  /// undermined the sender's report blocks the halt once it lands. Only
+  /// local state may be consulted: the request is a control message, not
+  /// a global snapshot.
+  virtual bool confirm_converged(std::size_t rank) const {
+    return locally_converged(rank);
+  }
+
   /// Distributes the halt decision to every processor (with control
   /// latency and accounting) and ends the run once all are down.
   virtual void broadcast_halt() = 0;
@@ -60,6 +74,7 @@ class DetectionProtocol {
 
  private:
   void coordinator_report(std::size_t rank);
+  void maybe_begin_verification();
   void handle_token(std::size_t rank);
   void halt();
 
@@ -73,6 +88,20 @@ class DetectionProtocol {
   // what rank 0 has received so far.
   std::vector<bool> reported_;
   std::vector<bool> coordinator_view_;
+
+  // Coordinator verification round (rank-0 state). An all-true view does
+  // not halt directly: data sent before a node's last report can still be
+  // in flight, about to disturb a receiver whose report the view trusts.
+  // The coordinator instead asks every node to confirm
+  // (driver_->confirm_converged at request delivery); one false ack
+  // aborts the round. `verify_epoch_` invalidates closures of aborted
+  // rounds; `verify_rearm_` records a converged-node heartbeat that
+  // arrived mid-round, so an aborted round retries once the aborting
+  // ack has been consumed (never a same-instant retry loop).
+  bool verifying_ = false;
+  bool verify_rearm_ = false;
+  std::size_t verify_epoch_ = 0;
+  std::size_t verify_acks_ = 0;
 
   // Token-ring state.
   std::size_t token_holder_ = 0;

@@ -23,17 +23,35 @@ ProcessorCore::ProcessorCore(std::size_t rank, std::size_t processors,
 
 void ProcessorCore::ingest_boundary(Side from,
                                     const ode::BoundaryMessage& msg) {
+  // Copy-assignment into persistent storage: when the inbox already holds
+  // a (possibly unread) message of the same shape, the rows vector's
+  // capacity is reused and the overwrite allocates nothing.
   if (from == Side::kLeft) {
     inbox_left_ = msg;
+    inbox_left_full_ = true;
     left_data_iteration_ =
         std::max(left_data_iteration_, msg.sender_iteration);
     left_load_ = msg.sender_load;
   } else {
     inbox_right_ = msg;
+    inbox_right_full_ = true;
     right_data_iteration_ =
         std::max(right_data_iteration_, msg.sender_iteration);
     right_load_ = msg.sender_load;
   }
+}
+
+double ProcessorCore::pending_input_disturbance() const {
+  double disturbance = 0.0;
+  if (inbox_left_full_)
+    disturbance = std::max(
+        disturbance, block_.ghost_update_disturbance(inbox_left_,
+                                                     /*left=*/true));
+  if (inbox_right_full_)
+    disturbance = std::max(
+        disturbance, block_.ghost_update_disturbance(inbox_right_,
+                                                     /*left=*/false));
+  return disturbance;
 }
 
 void ProcessorCore::enqueue_migration(Side from,
@@ -56,16 +74,17 @@ ProcessorCore::BeginInfo ProcessorCore::begin_iteration() {
     info.absorbed_from_right = true;
     residual_stale_ = true;
   }
-  if (inbox_left_) {
+  if (inbox_left_full_) {
     // Position check (paper Algorithm 7): silently dropped when the
     // arrays are mid-resize and the positions no longer line up; the
-    // receive filter drops insignificant updates the same way.
-    info.external_input |= block_.accept_left_ghosts(*inbox_left_);
-    inbox_left_.reset();
+    // receive filter drops insignificant updates the same way. The
+    // storage (and its capacity) stays for the next ingest.
+    info.external_input |= block_.accept_left_ghosts(inbox_left_);
+    inbox_left_full_ = false;
   }
-  if (inbox_right_) {
-    info.external_input |= block_.accept_right_ghosts(*inbox_right_);
-    inbox_right_.reset();
+  if (inbox_right_full_) {
+    info.external_input |= block_.accept_right_ghosts(inbox_right_);
+    inbox_right_full_ = false;
   }
   info.external_input |= info.absorbed_from_left || info.absorbed_from_right;
   return info;
@@ -98,14 +117,22 @@ void ProcessorCore::finish_iteration(
     under_tol_streak_ = 0;
 }
 
-ode::BoundaryMessage ProcessorCore::make_boundary(Side toward) const {
-  auto msg = toward == Side::kLeft ? block_.boundary_for_left()
-                                   : block_.boundary_for_right();
+void ProcessorCore::fill_boundary(Side toward,
+                                  ode::BoundaryMessage& msg) const {
+  if (toward == Side::kLeft)
+    block_.boundary_for_left(msg);
+  else
+    block_.boundary_for_right(msg);
   msg.sender_iteration = computed_iterations_;
   msg.sender_components = block_.count();
   msg.sender_residual =
       std::isinf(last_residual_) ? 1.0 : last_residual_;
   msg.sender_load = current_load();
+}
+
+ode::BoundaryMessage ProcessorCore::make_boundary(Side toward) const {
+  ode::BoundaryMessage msg;
+  fill_boundary(toward, msg);
   return msg;
 }
 
@@ -144,19 +171,21 @@ lb::BalanceDecision ProcessorCore::plan_migration(bool left_link_busy,
   return balancer_->decide(view);
 }
 
-std::optional<ode::MigrationPayload> ProcessorCore::extract_migration(
-    Side toward, std::size_t amount) {
+bool ProcessorCore::extract_migration_into(Side toward, std::size_t amount,
+                                           ode::MigrationPayload& payload) {
   const std::size_t count = block_.count();
   // min_keep is the famine guard; the structural floor of one owned
   // component (WaveformBlock::extract_* requires k < count) is all that
   // remains when the test-only mutation disables the guard.
   const std::size_t keep =
       mutation::famine_guard_disabled() ? 1 : params_.min_keep;
-  if (count <= keep) return std::nullopt;
+  if (count <= keep) return false;
   amount = std::min(amount, count - keep);
-  if (amount == 0) return std::nullopt;
-  auto payload = toward == Side::kLeft ? block_.extract_for_left(amount)
-                                       : block_.extract_for_right(amount);
+  if (amount == 0) return false;
+  if (toward == Side::kLeft)
+    block_.extract_for_left(amount, payload);
+  else
+    block_.extract_for_right(amount, payload);
   // Sample the famine invariant at its tightest point: immediately after
   // the extraction, before the payload even leaves.
   min_seen_ = std::min(min_seen_, block_.count());
@@ -164,6 +193,13 @@ std::optional<ode::MigrationPayload> ProcessorCore::extract_migration(
   ++migrations_out_;
   components_out_ += payload.owned_count;
   lb_bytes_out_ += payload.byte_size();
+  return true;
+}
+
+std::optional<ode::MigrationPayload> ProcessorCore::extract_migration(
+    Side toward, std::size_t amount) {
+  ode::MigrationPayload payload;
+  if (!extract_migration_into(toward, amount, payload)) return std::nullopt;
   return payload;
 }
 

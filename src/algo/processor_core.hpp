@@ -118,6 +118,11 @@ class ProcessorCore {
   /// threaded driver calls it after finish_iteration.
   ode::BoundaryMessage make_boundary(Side toward) const;
 
+  /// Fill-into variant of make_boundary: overwrites `msg` in place,
+  /// reusing msg.rows' capacity. With pool-recycled messages the threaded
+  /// engine's per-iteration boundary send path is allocation-free.
+  void fill_boundary(Side toward, ode::BoundaryMessage& msg) const;
+
   /// make_boundary + Transport::send_boundary for each existing neighbor.
   void emit_boundaries(Transport& transport);
 
@@ -145,6 +150,13 @@ class ProcessorCore {
   std::optional<ode::MigrationPayload> extract_migration(Side toward,
                                                          std::size_t amount);
 
+  /// Fill-into variant of extract_migration: on success overwrites
+  /// `payload` (reusing payload.rows' capacity — pass pool-acquired rows)
+  /// and returns true; false when the famine guard blocks the migration,
+  /// leaving `payload` untouched.
+  bool extract_migration_into(Side toward, std::size_t amount,
+                              ode::MigrationPayload& payload);
+
   /// Absorbs everything still queued (result assembly after a stop, so
   /// the solution covers every component exactly once).
   void drain_pending_migrations();
@@ -168,11 +180,18 @@ class ProcessorCore {
   }
   /// Nothing buffered: boundary inboxes empty and no queued migrations.
   bool inputs_quiescent() const noexcept {
-    return !inbox_left_ && !inbox_right_ && !has_pending_migrations();
+    return !inbox_left_full_ && !inbox_right_full_ &&
+           !has_pending_migrations();
   }
   bool has_pending_migrations() const noexcept {
     return !pending_from_left_.empty() || !pending_from_right_.empty();
   }
+  /// Max-norm change the buffered (delivered, not yet absorbed) boundary
+  /// inboxes would make to the block's ghost rows if folded in now; 0 when
+  /// both inboxes are empty. Convergence detection uses this to tell
+  /// harmless steady-state traffic from an unprocessed update that would
+  /// break local convergence (see WaveformBlock::ghost_update_disturbance).
+  double pending_input_disturbance() const;
   /// Components delivered but not yet absorbed (queued migrations). The
   /// model checker's conservation invariant counts these: every component
   /// is owned by a block, queued at a receiver, or in transit — never two
@@ -210,8 +229,14 @@ class ProcessorCore {
   bool residual_stale_ = false;
   std::size_t lb_countdown_ = 0;
 
-  std::optional<ode::BoundaryMessage> inbox_left_;
-  std::optional<ode::BoundaryMessage> inbox_right_;
+  // Boundary inboxes: persistent storage plus a full/empty flag rather
+  // than optionals, so ingest_boundary's copy-assignment reuses the rows
+  // capacity of the previous message — overwriting an unread inbox (the
+  // common case under asynchronous iteration) allocates nothing.
+  ode::BoundaryMessage inbox_left_;
+  ode::BoundaryMessage inbox_right_;
+  bool inbox_left_full_ = false;
+  bool inbox_right_full_ = false;
   std::deque<ode::MigrationPayload> pending_from_left_;
   std::deque<ode::MigrationPayload> pending_from_right_;
   std::optional<double> left_load_;

@@ -153,6 +153,20 @@ class SimEngine final : public algo::Transport,
     return !procs_[rank].computing;
   }
 
+  /// Coordinator verification: a node confirms only when nothing it has
+  /// buffered could break its convergence report — no queued migration,
+  /// and no delivered-but-unfolded boundary update that differs from the
+  /// stored ghosts by more than the tolerance. Steady-state traffic
+  /// (updates within tolerance of what the streak was built on) does not
+  /// veto, so nodes that keep exchanging converged values can still halt.
+  /// In-flight messages stay invisible, as for a real process; the
+  /// verification round-trip is what makes winning that race unlikely.
+  bool confirm_converged(std::size_t rank) const override {
+    const algo::ProcessorCore& core = fleet_->core(rank);
+    return core.locally_converged() && !core.has_pending_migrations() &&
+           core.pending_input_disturbance() <= config_.tolerance;
+  }
+
   void broadcast_halt() override {
     // The protocol guaranteed persistent local convergence, not interface
     // consistency; record what actually held at the halt instant.

@@ -16,6 +16,7 @@
 #include "algo/detection.hpp"
 #include "algo/processor_core.hpp"
 #include "algo/runtime_ifaces.hpp"
+#include "runtime/buffer_pool.hpp"
 #include "runtime/fault_injector.hpp"
 #include "runtime/mailbox.hpp"
 #include "runtime/ordered_mutex.hpp"
@@ -176,10 +177,13 @@ class ThreadEngine final : public algo::Transport,
     ThreadProc& sender = procs_[src];
     sender.bytes_out += msg.byte_size();
     ++sender.data_messages;
-    if (toward == Side::kLeft)
-      procs_[src - 1].from_right.put(std::move(msg));
-    else
-      procs_[src + 1].from_left.put(std::move(msg));
+    // "Latest data wins": an unread message this put displaces would be
+    // destroyed here on the per-iteration path — recycle its rows instead.
+    std::optional<ode::BoundaryMessage> displaced =
+        toward == Side::kLeft
+            ? procs_[src - 1].from_right.put(std::move(msg))
+            : procs_[src + 1].from_left.put(std::move(msg));
+    if (displaced) pool_.release(std::move(displaced->rows));
   }
 
   void send_migration(std::size_t src, Side toward,
@@ -260,10 +264,16 @@ class ThreadEngine final : public algo::Transport,
           core.enqueue_migration(Side::kLeft, std::move(*payload));
         while (auto payload = proc.lb_from_right.try_pop())
           core.enqueue_migration(Side::kRight, std::move(*payload));
-        if (auto msg = proc.from_left.take())
+        // The core copies boundary data into its persistent inbox, so the
+        // message's rows go straight back to the pool.
+        if (auto msg = proc.from_left.take()) {
           core.ingest_boundary(Side::kLeft, *msg);
-        if (auto msg = proc.from_right.take())
+          pool_.release(std::move(msg->rows));
+        }
+        if (auto msg = proc.from_right.take()) {
           core.ingest_boundary(Side::kRight, *msg);
+          pool_.release(std::move(msg->rows));
+        }
         const auto begin = core.begin_iteration();
         // The link stays busy until the receiver absorbs the payload,
         // which serializes migrations per link.
@@ -272,10 +282,19 @@ class ThreadEngine final : public algo::Transport,
         const double start = now();
         stats = core.run_iteration();
         core.finish_iteration(stats, start, *this);
-        if (core.has_neighbor(Side::kLeft))
-          out_left = core.make_boundary(Side::kLeft);
-        if (core.has_neighbor(Side::kRight))
-          out_right = core.make_boundary(Side::kRight);
+        // Outgoing messages are packed into pool-recycled row buffers
+        // (fill_boundary resizes within the recycled capacity), so the
+        // steady-state send path allocates nothing.
+        if (core.has_neighbor(Side::kLeft)) {
+          out_left.emplace();
+          out_left->rows = pool_.acquire();
+          core.fill_boundary(Side::kLeft, *out_left);
+        }
+        if (core.has_neighbor(Side::kRight)) {
+          out_right.emplace();
+          out_right->rows = pool_.acquire();
+          core.fill_boundary(Side::kRight, *out_right);
+        }
         iteration = core.iteration();
         residual = core.last_residual();
         converged = core.locally_converged();
@@ -352,9 +371,14 @@ class ThreadEngine final : public algo::Transport,
       // migrations; compare-exchange makes the claim atomic.
       bool expected = false;
       if (!lb_link_busy_[link].compare_exchange_strong(expected, true)) return;
-      payload = core.extract_migration(side, decision.amount);
-      if (!payload) {
+      // Pool-acquired rows: extract_migration_into resizes within the
+      // recycled capacity. The receive side is not recycled (payloads are
+      // queued whole and absorbed later — a cold path).
+      payload.emplace();
+      payload->rows = pool_.acquire();
+      if (!core.extract_migration_into(side, decision.amount, *payload)) {
         lb_link_busy_[link].store(false);
+        pool_.release(std::move(payload->rows));
         return;
       }
     }
@@ -436,10 +460,14 @@ class ThreadEngine final : public algo::Transport,
       });
       drain_control(proc);
       std::lock_guard<runtime::OrderedMutex> lock(proc.block_mutex);
-      if (auto msg = proc.from_left.take())
+      if (auto msg = proc.from_left.take()) {
         core.ingest_boundary(Side::kLeft, *msg);
-      if (auto msg = proc.from_right.take())
+        pool_.release(std::move(msg->rows));
+      }
+      if (auto msg = proc.from_right.take()) {
         core.ingest_boundary(Side::kRight, *msg);
+        pool_.release(std::move(msg->rows));
+      }
     }
   }
 
@@ -508,6 +536,10 @@ class ThreadEngine final : public algo::Transport,
   std::size_t nprocs_;
   std::size_t dimension_;
   std::unique_ptr<algo::CoreFleet> fleet_;
+  /// Recycles boundary/migration row buffers across all workers; its
+  /// internal mutex is a leaf (nothing is acquired while it is held), so
+  /// it stays outside the OrderedMutex rank order.
+  runtime::BufferPool pool_;
   std::vector<ThreadProc> procs_;
   std::unique_ptr<std::atomic<bool>[]> lb_link_busy_;
   std::unique_ptr<algo::DetectionProtocol> protocol_;

@@ -32,6 +32,15 @@ void BandedMatrix::set_zero() noexcept {
   for (double& x : data_) x = 0.0;
 }
 
+void BandedMatrix::reshape(std::size_t n, std::size_t lower,
+                           std::size_t upper) {
+  if (n == n_ && lower == kl_ && upper == ku_) return;
+  n_ = n;
+  kl_ = lower;
+  ku_ = upper;
+  data_.resize(n * (lower + upper + 1));
+}
+
 void BandedMatrix::multiply(std::span<const double> x,
                             std::span<double> y) const {
   if (x.size() != n_ || y.size() != n_)
@@ -52,45 +61,68 @@ std::vector<double> BandedMatrix::to_dense() const {
   return dense;
 }
 
-BandedLu::BandedLu(BandedMatrix a, double pivot_tolerance)
-    : lu_(std::move(a)) {
-  const std::size_t n = lu_.size();
-  const std::size_t kl = lu_.lower_bandwidth();
-  const std::size_t ku = lu_.upper_bandwidth();
+void banded_lu_factor_in_place(BandedMatrix& a, double pivot_tolerance) {
+  const std::size_t n = a.size();
+  const std::size_t kl = a.lower_bandwidth();
+  const std::size_t ku = a.upper_bandwidth();
+  const std::size_t stride = a.row_stride();
+  double* data = a.band_data().data();
+  // Index arithmetic on the raw band storage (column c of row r sits at
+  // slot c + kl - r, always >= 0 within the band) — the per-element
+  // in_band branches of at()/ref() dominate the factorization cost at the
+  // small bandwidths the Newton systems have.
   for (std::size_t k = 0; k < n; ++k) {
-    const double pivot = lu_.at(k, k);
+    const double* row_k = data + k * stride;
+    const double pivot = row_k[kl];
     if (std::abs(pivot) < pivot_tolerance)
-      throw std::runtime_error("BandedLu: pivot below tolerance at row " +
+      throw std::runtime_error("banded LU: pivot below tolerance at row " +
                                std::to_string(k));
     const double inv_pivot = 1.0 / pivot;
     const std::size_t r_hi = std::min(n - 1, k + kl);
-    for (std::size_t r = k + 1; r <= r_hi && r < n; ++r) {
-      const double factor = lu_.at(r, k) * inv_pivot;
-      lu_.ref(r, k) = factor;
-      const std::size_t c_hi = std::min(n - 1, k + ku);
+    const std::size_t c_hi = std::min(n - 1, k + ku);
+    for (std::size_t r = k + 1; r <= r_hi; ++r) {
+      double* row_r = data + r * stride;
+      const double factor = row_r[k + kl - r] * inv_pivot;
+      row_r[k + kl - r] = factor;
       for (std::size_t c = k + 1; c <= c_hi; ++c)
-        lu_.ref(r, c) = lu_.at(r, c) - factor * lu_.at(k, c);
+        row_r[c + kl - r] -= factor * row_k[c + kl - k];
     }
   }
 }
 
-void BandedLu::solve(std::span<double> b) const {
-  const std::size_t n = lu_.size();
+void banded_lu_solve_in_place(const BandedMatrix& lu, std::span<double> b) {
+  const std::size_t n = lu.size();
   if (b.size() != n)
-    throw std::invalid_argument("BandedLu::solve: size mismatch");
-  const std::size_t kl = lu_.lower_bandwidth();
-  const std::size_t ku = lu_.upper_bandwidth();
+    throw std::invalid_argument("banded LU solve: size mismatch");
+  const std::size_t kl = lu.lower_bandwidth();
+  const std::size_t ku = lu.upper_bandwidth();
+  const std::size_t stride = lu.row_stride();
+  const double* data = lu.band_data().data();
   // Forward substitution with the unit lower-triangular factor.
   for (std::size_t i = 0; i < n; ++i) {
+    const double* row = data + i * stride;
     const std::size_t j_lo = i > kl ? i - kl : 0;
-    for (std::size_t j = j_lo; j < i; ++j) b[i] -= lu_.at(i, j) * b[j];
+    double sum = b[i];
+    for (std::size_t j = j_lo; j < i; ++j) sum -= row[j + kl - i] * b[j];
+    b[i] = sum;
   }
   // Back substitution with the upper factor.
   for (std::size_t ii = n; ii-- > 0;) {
+    const double* row = data + ii * stride;
     const std::size_t j_hi = std::min(n - 1, ii + ku);
-    for (std::size_t j = ii + 1; j <= j_hi; ++j) b[ii] -= lu_.at(ii, j) * b[j];
-    b[ii] /= lu_.at(ii, ii);
+    double sum = b[ii];
+    for (std::size_t j = ii + 1; j <= j_hi; ++j) sum -= row[j + kl - ii] * b[j];
+    b[ii] = sum / row[kl];
   }
+}
+
+BandedLu::BandedLu(BandedMatrix a, double pivot_tolerance)
+    : lu_(std::move(a)) {
+  banded_lu_factor_in_place(lu_, pivot_tolerance);
+}
+
+void BandedLu::solve(std::span<double> b) const {
+  banded_lu_solve_in_place(lu_, b);
 }
 
 void solve_tridiagonal(std::span<const double> lower,

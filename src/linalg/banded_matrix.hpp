@@ -34,6 +34,24 @@ class BandedMatrix {
 
   void set_zero() noexcept;
 
+  /// Reshapes to n x n with the given bandwidths, reusing the existing
+  /// allocation whenever it is large enough (the workspace-reuse hot path:
+  /// a Newton workspace reshapes its Jacobian once per block-size change
+  /// and then assembles in place with zero allocations). Contents are
+  /// unspecified afterwards — callers must write every band entry they
+  /// later read, which full banded assembly does.
+  void reshape(std::size_t n, std::size_t lower, std::size_t upper);
+
+  /// Raw row-major band storage: row r occupies slots
+  /// [r * row_stride(), (r + 1) * row_stride()), with column c at slot
+  /// offset (c + lower_bandwidth() - r). Slots whose column falls outside
+  /// [0, size()) are padding — writable, never read by the factorization
+  /// or solves. Exposed for the allocation-free assembly and in-place LU
+  /// kernels, which cannot afford per-element band checks.
+  std::span<double> band_data() noexcept { return data_; }
+  std::span<const double> band_data() const noexcept { return data_; }
+  std::size_t row_stride() const noexcept { return kl_ + ku_ + 1; }
+
   /// y = A x.
   void multiply(std::span<const double> x, std::span<double> y) const;
 
@@ -53,12 +71,26 @@ class BandedMatrix {
   std::vector<double> data_;
 };
 
-/// LU factorization of a banded matrix *without pivoting*.
-///
-/// Valid for the diagonally dominant Jacobians produced by implicit Euler
-/// with reasonable step sizes (I - dt*J with dt small enough). Throws
+/// Factors `a` in place (no pivoting, no copy, no allocation) into its
+/// banded L\U form: the unit lower factor's multipliers land below the
+/// diagonal and U on and above it, in the same band storage. Valid for the
+/// diagonally dominant Jacobians produced by implicit Euler with
+/// reasonable step sizes (I - dt*J with dt small enough). Throws
 /// std::runtime_error when a pivot underflows `pivot_tolerance`, which in
-/// this codebase signals that the step size must be reduced.
+/// this codebase signals that the step size must be reduced; the matrix
+/// contents are unspecified after a throw.
+void banded_lu_factor_in_place(BandedMatrix& a,
+                               double pivot_tolerance = 1e-14);
+
+/// Solves (L U) x = b in place given a matrix factored by
+/// banded_lu_factor_in_place. Allocation-free.
+void banded_lu_solve_in_place(const BandedMatrix& lu, std::span<double> b);
+
+/// LU factorization of a banded matrix *without pivoting* — the owning
+/// convenience wrapper over banded_lu_factor_in_place /
+/// banded_lu_solve_in_place; see those for the validity domain. Callers on
+/// the solver hot path use the in-place functions with a reused workspace
+/// matrix instead of constructing one of these per solve.
 class BandedLu {
  public:
   explicit BandedLu(BandedMatrix a, double pivot_tolerance = 1e-14);

@@ -78,6 +78,102 @@ double Brusselator::rhs_partial(std::size_t j, std::size_t k, double /*t*/,
   }
 }
 
+void Brusselator::jacobian_band_row(std::size_t j, double /*t*/,
+                                    std::span<const double> window,
+                                    std::span<double> band) const {
+  if (j >= dimension())
+    throw std::out_of_range("Brusselator::jacobian_band_row");
+  if (band.size() != 5)
+    throw std::invalid_argument("Brusselator::jacobian_band_row: band size");
+  const std::size_t i = j / 2;
+  const bool is_u = (j % 2) == 0;
+  const double c = diffusion_;
+  const double cl = i == 0 ? 0.0 : c;  // boundary values are constants
+  const double cr = i + 1 == params_.grid_points ? 0.0 : c;
+  if (is_u) {
+    const double u = slot(window, 0);
+    const double v = slot(window, +1);
+    band[0] = cl;                            // u_{i-1}
+    band[1] = 0.0;                           // v_{i-1}: no coupling
+    band[2] = 2.0 * u * v - 4.0 - 2.0 * c;   // u_i
+    band[3] = u * u;                         // v_i
+    band[4] = cr;                            // u_{i+1}
+    return;
+  }
+  const double u = slot(window, -1);
+  band[0] = cl;                              // v_{i-1}
+  band[1] = 3.0 - 2.0 * u * slot(window, 0); // u_i
+  band[2] = -u * u - 2.0 * c;                // v_i
+  band[3] = 0.0;                             // u_{i+1}: no coupling
+  band[4] = cr;                              // v_{i+1}
+}
+
+void Brusselator::rhs_range(std::size_t first, std::size_t count, double t,
+                            std::span<const double> y_ext,
+                            std::span<double> out) const {
+  if (y_ext.size() != count + 4 || out.size() != count)
+    throw std::invalid_argument("Brusselator::rhs_range: size mismatch");
+  (void)t;
+  const double c = diffusion_;
+  const std::size_t n_grid = params_.grid_points;
+  for (std::size_t r = 0; r < count; ++r) {
+    // w[2 + d] = y_{j+d}; out-of-domain slots are zero and replaced by
+    // the Dirichlet boundary values below, as in rhs_component.
+    const double* w = y_ext.data() + r;
+    const std::size_t j = first + r;
+    const std::size_t i = j / 2;
+    if ((j % 2) == 0) {
+      const double u = w[2];
+      const double v = w[3];
+      const double u_left = i == 0 ? params_.u_boundary : w[0];
+      const double u_right = i + 1 == n_grid ? params_.u_boundary : w[4];
+      out[r] = 1.0 + u * u * v - 4.0 * u + c * (u_left - 2.0 * u + u_right);
+    } else {
+      const double v = w[2];
+      const double u = w[1];
+      const double v_left = i == 0 ? params_.v_boundary : w[0];
+      const double v_right = i + 1 == n_grid ? params_.v_boundary : w[4];
+      out[r] = 3.0 * u - u * u * v + c * (v_left - 2.0 * v + v_right);
+    }
+  }
+}
+
+void Brusselator::jacobian_band_range(std::size_t first, std::size_t count,
+                                      double t,
+                                      std::span<const double> y_ext,
+                                      std::span<double> band_rows) const {
+  if (y_ext.size() != count + 4 || band_rows.size() != count * 5)
+    throw std::invalid_argument(
+        "Brusselator::jacobian_band_range: size mismatch");
+  (void)t;
+  const double c = diffusion_;
+  const std::size_t n_grid = params_.grid_points;
+  for (std::size_t r = 0; r < count; ++r) {
+    const double* w = y_ext.data() + r;
+    double* band = band_rows.data() + r * 5;
+    const std::size_t j = first + r;
+    const std::size_t i = j / 2;
+    const double cl = i == 0 ? 0.0 : c;
+    const double cr = i + 1 == n_grid ? 0.0 : c;
+    if ((j % 2) == 0) {
+      const double u = w[2];
+      const double v = w[3];
+      band[0] = cl;                           // u_{i-1}
+      band[1] = 0.0;                          // v_{i-1}: no coupling
+      band[2] = 2.0 * u * v - 4.0 - 2.0 * c;  // u_i
+      band[3] = u * u;                        // v_i
+      band[4] = cr;                           // u_{i+1}
+    } else {
+      const double u = w[1];
+      band[0] = cl;                    // v_{i-1}
+      band[1] = 3.0 - 2.0 * u * w[2];  // u_i
+      band[2] = -u * u - 2.0 * c;      // v_i
+      band[3] = 0.0;                   // u_{i+1}: no coupling
+      band[4] = cr;                    // v_{i+1}
+    }
+  }
+}
+
 void Brusselator::initial_state(std::span<double> y) const {
   if (y.size() != dimension())
     throw std::invalid_argument("Brusselator::initial_state: size mismatch");

@@ -43,6 +43,15 @@ class Brusselator final : public OdeSystem {
                        std::span<const double> window) const override;
   double rhs_partial(std::size_t j, std::size_t k, double t,
                      std::span<const double> window) const override;
+  void jacobian_band_row(std::size_t j, double t,
+                         std::span<const double> window,
+                         std::span<double> band) const override;
+  void rhs_range(std::size_t first, std::size_t count, double t,
+                 std::span<const double> y_ext,
+                 std::span<double> out) const override;
+  void jacobian_band_range(std::size_t first, std::size_t count, double t,
+                           std::span<const double> y_ext,
+                           std::span<double> band_rows) const override;
   void initial_state(std::span<double> y) const override;
 
  private:

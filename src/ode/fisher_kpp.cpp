@@ -40,6 +40,18 @@ double FisherKpp::rhs_partial(std::size_t j, std::size_t k, double /*t*/,
   return 0.0;
 }
 
+void FisherKpp::jacobian_band_row(std::size_t j, double /*t*/,
+                                  std::span<const double> window,
+                                  std::span<double> band) const {
+  if (j >= dimension())
+    throw std::out_of_range("FisherKpp::jacobian_band_row");
+  if (band.size() != 3)
+    throw std::invalid_argument("FisherKpp::jacobian_band_row: band size");
+  band[0] = j == 0 ? 0.0 : diffusion_;
+  band[1] = -2.0 * diffusion_ + params_.growth * (1.0 - 2.0 * window[1]);
+  band[2] = j + 1 == dimension() ? 0.0 : diffusion_;
+}
+
 void FisherKpp::initial_state(std::span<double> y) const {
   if (y.size() != dimension())
     throw std::invalid_argument("FisherKpp::initial_state: size mismatch");

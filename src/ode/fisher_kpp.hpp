@@ -45,6 +45,9 @@ class FisherKpp final : public OdeSystem {
                        std::span<const double> window) const override;
   double rhs_partial(std::size_t j, std::size_t k, double t,
                      std::span<const double> window) const override;
+  void jacobian_band_row(std::size_t j, double t,
+                         std::span<const double> window,
+                         std::span<double> band) const override;
   void initial_state(std::span<double> y) const override;
 
   /// Front position (x in [0,1]) of a state vector: the first grid point

@@ -46,6 +46,19 @@ double LinearDiffusion::rhs_partial(std::size_t j, std::size_t k,
   return 0.0;
 }
 
+void LinearDiffusion::jacobian_band_row(std::size_t j, double /*t*/,
+                                        std::span<const double>,
+                                        std::span<double> band) const {
+  if (j >= dimension())
+    throw std::out_of_range("LinearDiffusion::jacobian_band_row");
+  if (band.size() != 3)
+    throw std::invalid_argument(
+        "LinearDiffusion::jacobian_band_row: band size");
+  band[0] = j == 0 ? 0.0 : diffusion_;
+  band[1] = -2.0 * diffusion_ - params_.sigma;
+  band[2] = j + 1 == dimension() ? 0.0 : diffusion_;
+}
+
 void LinearDiffusion::initial_state(std::span<double> y) const {
   if (y.size() != dimension())
     throw std::invalid_argument("LinearDiffusion::initial_state size");

@@ -45,6 +45,9 @@ class LinearDiffusion final : public OdeSystem {
                        std::span<const double> window) const override;
   double rhs_partial(std::size_t j, std::size_t k, double t,
                      std::span<const double> window) const override;
+  void jacobian_band_row(std::size_t j, double t,
+                         std::span<const double> window,
+                         std::span<double> band) const override;
   void initial_state(std::span<double> y) const override;
 
   /// The steady state (A u = f with the Dirichlet data folded in),

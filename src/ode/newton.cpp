@@ -1,5 +1,6 @@
 #include "ode/newton.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 #include <vector>
@@ -8,15 +9,14 @@
 
 namespace aiac::ode {
 
-ScalarSolveResult scalar_implicit_euler_solve(const OdeSystem& system,
-                                              std::size_t j, double y_prev,
-                                              std::span<const double> window,
-                                              double t_next, double dt,
-                                              const NewtonOptions& opts) {
+namespace {
+
+/// Scalar Newton core operating on a caller-owned mutable window copy.
+ScalarSolveResult scalar_solve_core(const OdeSystem& system, std::size_t j,
+                                    double y_prev, std::span<double> w,
+                                    double t_next, double dt,
+                                    const NewtonOptions& opts) {
   const std::size_t s = system.stencil_halfwidth();
-  if (window.size() != 2 * s + 1)
-    throw std::invalid_argument("scalar solve: wrong window size");
-  std::vector<double> w(window.begin(), window.end());
   ScalarSolveResult result;
   result.value = w[s];  // initial guess: frozen iterate's value at t_next
   for (std::size_t it = 0; it <= opts.max_iterations; ++it) {
@@ -41,37 +41,64 @@ ScalarSolveResult scalar_implicit_euler_solve(const OdeSystem& system,
   return result;
 }
 
+}  // namespace
+
+ScalarSolveResult scalar_implicit_euler_solve(const OdeSystem& system,
+                                              std::size_t j, double y_prev,
+                                              std::span<const double> window,
+                                              double t_next, double dt,
+                                              const NewtonOptions& opts) {
+  const std::size_t s = system.stencil_halfwidth();
+  if (window.size() != 2 * s + 1)
+    throw std::invalid_argument("scalar solve: wrong window size");
+  std::vector<double> w(window.begin(), window.end());
+  return scalar_solve_core(system, j, y_prev, w, t_next, dt, opts);
+}
+
+ScalarSolveResult scalar_implicit_euler_solve(const OdeSystem& system,
+                                              std::size_t j, double y_prev,
+                                              std::span<const double> window,
+                                              double t_next, double dt,
+                                              const NewtonOptions& opts,
+                                              NewtonWorkspace& workspace) {
+  const std::size_t s = system.stencil_halfwidth();
+  if (window.size() != 2 * s + 1)
+    throw std::invalid_argument("scalar solve: wrong window size");
+  // assign() reuses the workspace vector's capacity: allocation-free once
+  // warm, which is the point of this overload.
+  workspace.window.assign(window.begin(), window.end());
+  return scalar_solve_core(system, j, y_prev, workspace.window, t_next, dt,
+                           opts);
+}
+
 namespace {
 
-/// Fills `window` (size 2s+1) for global component j from the block
-/// [first, first+nb) values `y` and the ghost values.
-void fill_window(const OdeSystem& system, std::size_t j, std::size_t first,
-                 std::span<const double> y, std::span<const double> ghost_left,
-                 std::span<const double> ghost_right,
-                 std::span<double> window) {
+/// Assembles A = I - dt J into the workspace Jacobian and factors it in
+/// place. One batched OdeSystem::jacobian_band_range call over the block
+/// (ws.window holds the extended state for this iterate); the band slot
+/// layout of each row (d in [-s, s] at slot d + s) coincides with the
+/// band-storage slot layout for kl = ku = s, so rows are written at full
+/// stride. Slots whose column falls outside the block are band-storage
+/// padding for edge rows — writable, never read by factor/solve — so no
+/// per-slot range check is needed.
+void assemble_and_factor(const OdeSystem& system, std::size_t first,
+                         std::size_t nb, double t_next, double dt,
+                         NewtonWorkspace& ws) {
   const std::size_t s = system.stencil_halfwidth();
-  const std::size_t nb = y.size();
-  const std::size_t dim = system.dimension();
-  for (std::size_t slot = 0; slot < 2 * s + 1; ++slot) {
-    const std::ptrdiff_t k = static_cast<std::ptrdiff_t>(j) +
-                             static_cast<std::ptrdiff_t>(slot) -
-                             static_cast<std::ptrdiff_t>(s);
-    double value = 0.0;
-    if (k >= 0 && k < static_cast<std::ptrdiff_t>(dim)) {
-      const std::size_t gk = static_cast<std::size_t>(k);
-      if (gk >= first && gk < first + nb) {
-        value = y[gk - first];
-      } else if (gk < first) {
-        // ghost_left holds components [first - s, first); written as
-        // gk + s - first to avoid size_t underflow when first < s.
-        value = ghost_left[gk + s - first];
-      } else {
-        // ghost_right holds components [first + nb, first + nb + s)
-        value = ghost_right[gk - first - nb];
-      }
-    }
-    window[slot] = value;
-  }
+  const std::size_t width = 2 * s + 1;
+  ws.jac.reshape(nb, s, s);
+  system.jacobian_band_range(first, nb, t_next, ws.window, ws.band);
+  double* data = ws.jac.band_data().data();
+  const double* band = ws.band.data();
+  for (std::size_t r = 0; r < nb; ++r)
+    for (std::size_t slot = 0; slot < width; ++slot)
+      data[r * width + slot] =
+          (slot == s ? 1.0 : 0.0) - dt * band[r * width + slot];
+  linalg::banded_lu_factor_in_place(ws.jac);
+  ++ws.factorizations;
+  ws.jac_age = 0;
+  ws.jac_rows = nb;
+  ws.jac_dt = dt;
 }
 
 }  // namespace
@@ -80,7 +107,7 @@ BlockSolveResult block_implicit_euler_step(
     const OdeSystem& system, std::size_t first, std::span<const double> y_prev,
     std::span<double> y_next, std::span<const double> ghost_left,
     std::span<const double> ghost_right, double t_next, double dt,
-    const NewtonOptions& opts) {
+    const NewtonOptions& opts, NewtonWorkspace& ws) {
   const std::size_t nb = y_next.size();
   const std::size_t s = system.stencil_halfwidth();
   if (y_prev.size() != nb)
@@ -91,44 +118,60 @@ BlockSolveResult block_implicit_euler_step(
       (first + nb < system.dimension() && ghost_right.size() < s))
     throw std::invalid_argument("block step: ghost spans too small");
 
+  const std::size_t width = 2 * s + 1;
+  // Block-path buffer roles: `window` is the extended state y_ext of the
+  // batched range calls (window of row r = window[r .. r+2s]); `band`
+  // holds all nb Jacobian band rows. Resizes are no-ops once warm.
+  if (ws.rhs.size() != nb) ws.rhs.resize(nb);
+  if (ws.window.size() != nb + 2 * s) ws.window.resize(nb + 2 * s);
+  if (ws.band.size() != nb * width) ws.band.resize(nb * width);
+
+  // Ghost slots of the extended state are fixed for the whole solve; the
+  // out-of-domain ones stay zero (never read by a correct system).
+  const std::size_t dim = system.dimension();
+  for (std::size_t g = 0; g < s; ++g) {
+    ws.window[g] = first + g >= s ? ghost_left[g] : 0.0;
+    ws.window[s + nb + g] =
+        first + nb + g < dim ? ghost_right[g] : 0.0;
+  }
+
+  const bool chord = opts.jacobian_reuse != JacobianReuse::kFresh;
+  // A held factorization only survives into this call in the across-steps
+  // mode, and only when it was built for this block shape and step size.
+  if (opts.jacobian_reuse != JacobianReuse::kChordAcrossSteps ||
+      ws.jac_rows != nb || ws.jac_dt != dt)
+    ws.jac_valid = false;
+
   BlockSolveResult result;
-  std::vector<double> window(2 * s + 1);
-  std::vector<double> rhs(nb);
+  const std::size_t factorizations_at_entry = ws.factorizations;
+  double prev_update = 0.0;
   for (std::size_t it = 0; it < opts.max_iterations; ++it) {
     // Residual F(w) = w - y_prev - dt f(t_next, w); checked before any
     // factorization so a converged warm start costs one evaluation only.
+    // In chord mode this true-residual check is also what keeps the
+    // stopping decision sound despite the approximate Jacobian.
+    std::copy(y_next.begin(), y_next.end(),
+              ws.window.begin() + static_cast<std::ptrdiff_t>(s));
+    system.rhs_range(first, nb, t_next, ws.window, ws.rhs);
     double residual_norm = 0.0;
     for (std::size_t r = 0; r < nb; ++r) {
-      const std::size_t j = first + r;
-      fill_window(system, j, first, y_next, ghost_left, ghost_right, window);
-      rhs[r] = -(y_next[r] - y_prev[r] -
-                 dt * system.rhs_component(j, t_next, window));
-      residual_norm = std::max(residual_norm, std::abs(rhs[r]));
+      ws.rhs[r] = -(y_next[r] - y_prev[r] - dt * ws.rhs[r]);
+      residual_norm = std::max(residual_norm, std::abs(ws.rhs[r]));
     }
     if (residual_norm <= opts.tolerance) {
       result.converged = true;
       result.skipped_by_check = it == 0;
       break;
     }
-    // Jacobian A = I - dt J, banded with bandwidth s.
-    linalg::BandedMatrix a(nb, s, s);
-    for (std::size_t r = 0; r < nb; ++r) {
-      const std::size_t j = first + r;
-      fill_window(system, j, first, y_next, ghost_left, ghost_right, window);
-      const std::size_t c_lo = r > s ? r - s : 0;
-      const std::size_t c_hi = std::min(nb - 1, r + s);
-      for (std::size_t c = c_lo; c <= c_hi; ++c) {
-        const std::size_t k = first + c;
-        const double jac = system.rhs_partial(j, k, t_next, window);
-        a.ref(r, c) = (r == c ? 1.0 : 0.0) - dt * jac;
-      }
-    }
-    linalg::BandedLu lu(std::move(a));
-    lu.solve(rhs);  // rhs now holds the Newton update
+    if (!ws.jac_valid || ws.jac_age >= opts.chord_max_age)
+      assemble_and_factor(system, first, nb, t_next, dt, ws);
+    ws.jac_valid = true;
+    linalg::banded_lu_solve_in_place(ws.jac, ws.rhs);
+    ++ws.jac_age;
     double update_norm = 0.0;
     for (std::size_t r = 0; r < nb; ++r) {
-      y_next[r] += rhs[r];
-      update_norm = std::max(update_norm, std::abs(rhs[r]));
+      y_next[r] += ws.rhs[r];
+      update_norm = std::max(update_norm, std::abs(ws.rhs[r]));
     }
     ++result.newton_iterations;
     result.update_norm = update_norm;
@@ -136,8 +179,35 @@ BlockSolveResult block_implicit_euler_step(
       result.converged = true;
       break;
     }
+    // Chord refresh policy: when the reused factorization no longer
+    // contracts the update by chord_refresh_rate per iteration, rebuild at
+    // the next iteration. Fresh mode refactorizes unconditionally.
+    if (!chord || (prev_update > 0.0 &&
+                   update_norm > opts.chord_refresh_rate * prev_update))
+      ws.jac_valid = false;
+    prev_update = update_norm;
   }
+  result.factorizations = ws.factorizations - factorizations_at_entry;
+  // Never carry a factorization out of a failed solve or out of a mode
+  // that did not ask for cross-call reuse.
+  if (!result.converged ||
+      opts.jacobian_reuse != JacobianReuse::kChordAcrossSteps)
+    ws.jac_valid = false;
   return result;
+}
+
+BlockSolveResult block_implicit_euler_step(
+    const OdeSystem& system, std::size_t first, std::span<const double> y_prev,
+    std::span<double> y_next, std::span<const double> ghost_left,
+    std::span<const double> ghost_right, double t_next, double dt,
+    const NewtonOptions& opts) {
+  // Legacy entry point: a throwaway workspace per call. Still faster than
+  // the historical implementation (batched assembly, in-place LU), but the
+  // hot path is the workspace overload; kChordAcrossSteps degrades to
+  // kChord here because nothing survives the call.
+  NewtonWorkspace ws;
+  return block_implicit_euler_step(system, first, y_prev, y_next, ghost_left,
+                                   ghost_right, t_next, dt, opts, ws);
 }
 
 }  // namespace aiac::ode

@@ -36,6 +36,40 @@ class OdeSystem {
   virtual double rhs_partial(std::size_t j, std::size_t k, double t,
                              std::span<const double> window) const = 0;
 
+  /// Whole banded Jacobian row of f_j in one call:
+  /// band[stencil + d] = d f_j / d y_{j+d} for d in [-stencil, +stencil],
+  /// zero for offsets falling outside [0, dimension()). `band` has size
+  /// window_size(). The default loops rhs_partial (2s+1 virtual calls);
+  /// concrete systems override it with one fused evaluation — the batched
+  /// assembly the banded Newton kernel uses, where the per-entry virtual
+  /// dispatch otherwise dominates Jacobian cost.
+  virtual void jacobian_band_row(std::size_t j, double t,
+                                 std::span<const double> window,
+                                 std::span<double> band) const;
+
+  /// Batched RHS over the contiguous component range [first, first +
+  /// count). `y_ext` holds count + 2*stencil values laid out so that the
+  /// window of local row r is y_ext[r .. r + 2*stencil]; slots whose
+  /// global index falls outside [0, dimension()) must be zero (a correct
+  /// system never reads them). Writes f_{first+r} into out[r].
+  ///
+  /// The default walks rhs_component over sliding sub-spans of y_ext —
+  /// one virtual call per component. Systems on the solver hot path
+  /// override it with a single fused loop: the block Newton kernel
+  /// evaluates the residual through this entry point every iteration, and
+  /// per-component virtual dispatch is most of its cost.
+  virtual void rhs_range(std::size_t first, std::size_t count, double t,
+                         std::span<const double> y_ext,
+                         std::span<double> out) const;
+
+  /// Batched Jacobian band rows over [first, first + count): row r's band
+  /// lands at band_rows[r * window_size() ..], with the same slot
+  /// convention as jacobian_band_row. `y_ext` as in rhs_range. The
+  /// default loops jacobian_band_row.
+  virtual void jacobian_band_range(std::size_t first, std::size_t count,
+                                   double t, std::span<const double> y_ext,
+                                   std::span<double> band_rows) const;
+
   /// Initial condition y(0) into `y` (size dimension()).
   virtual void initial_state(std::span<double> y) const = 0;
 

@@ -54,18 +54,34 @@ double Trajectory::max_abs_diff_rows(const Trajectory& other,
   return best;
 }
 
-std::vector<double> Trajectory::extract_rows(std::size_t first,
-                                             std::size_t count) {
+void Trajectory::copy_rows_into(std::size_t first, std::size_t count,
+                                std::span<double> out) const {
   if (first + count > components_)
-    throw std::out_of_range("Trajectory::extract_rows");
+    throw std::out_of_range("Trajectory::copy_rows_into");
   const std::size_t points = num_steps_ + 1;
-  std::vector<double> packed(
-      data_.begin() + static_cast<std::ptrdiff_t>(first * points),
-      data_.begin() + static_cast<std::ptrdiff_t>((first + count) * points));
+  if (out.size() != count * points)
+    throw std::invalid_argument("Trajectory::copy_rows_into: size mismatch");
+  std::copy(data_.begin() + static_cast<std::ptrdiff_t>(first * points),
+            data_.begin() +
+                static_cast<std::ptrdiff_t>((first + count) * points),
+            out.begin());
+}
+
+void Trajectory::remove_rows(std::size_t first, std::size_t count) {
+  if (first + count > components_)
+    throw std::out_of_range("Trajectory::remove_rows");
+  const std::size_t points = num_steps_ + 1;
   data_.erase(
       data_.begin() + static_cast<std::ptrdiff_t>(first * points),
       data_.begin() + static_cast<std::ptrdiff_t>((first + count) * points));
   components_ -= count;
+}
+
+std::vector<double> Trajectory::extract_rows(std::size_t first,
+                                             std::size_t count) {
+  std::vector<double> packed(count * (num_steps_ + 1));
+  copy_rows_into(first, count, packed);
+  remove_rows(first, count);
   return packed;
 }
 

@@ -46,8 +46,15 @@ class Trajectory {
   double max_abs_diff_rows(const Trajectory& other, std::size_t first_row,
                            std::size_t count) const;
 
+  /// Copies `count` rows starting at `first` packed row-major into `out`
+  /// (size `count * points_per_component()`). Allocation-free — the
+  /// building block migration/boundary packing uses with pooled buffers.
+  void copy_rows_into(std::size_t first, std::size_t count,
+                      std::span<double> out) const;
+  /// Removes `count` rows starting at `first` without returning them.
+  void remove_rows(std::size_t first, std::size_t count);
   /// Removes `count` rows starting at `first`, returning them packed
-  /// row-major (used when migrating components away).
+  /// row-major (copy_rows_into + remove_rows; allocates the result).
   std::vector<double> extract_rows(std::size_t first, std::size_t count);
   /// Inserts rows (packed row-major, `count` x points) before `first`.
   void insert_rows(std::size_t first, std::size_t count,

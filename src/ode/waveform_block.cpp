@@ -45,6 +45,10 @@ WaveformBlock::WaveformBlock(const OdeSystem& system,
 void WaveformBlock::invalidate_fast_path() {
   fast_path_valid_ = false;
   step_solved_.assign(num_steps_ + 1, false);
+  // Migration changes the block under the solver: drop any chord-Newton
+  // factorization held for the old shape. (The solver would also notice
+  // the size change itself; invalidating here keeps the contract local.)
+  newton_ws_.invalidate_jacobian();
 }
 
 void WaveformBlock::refresh_ghost_snapshot() {
@@ -92,10 +96,11 @@ WaveformBlock::IterationStats WaveformBlock::iterate_block_mode() {
   IterationStats stats;
   if (step_solved_.size() != num_steps_ + 1)
     step_solved_.assign(num_steps_ + 1, false);
-  std::vector<double> y_prev(count_);
-  std::vector<double> y_next(count_);
-  std::vector<double> ghost_left(stencil_);
-  std::vector<double> ghost_right(stencil_);
+  // Member staging buffers: no-ops once sized (resize only on migration).
+  if (y_prev_.size() != count_) y_prev_.resize(count_);
+  if (y_next_.size() != count_) y_next_.resize(count_);
+  if (ghost_left_.size() != stencil_) ghost_left_.resize(stencil_);
+  if (ghost_right_.size() != stencil_) ghost_right_.resize(stencil_);
   // Tracks whether the previous time step's output differs from the
   // previous outer iterate (the input cascade of the fast path).
   bool prev_step_changed = false;
@@ -111,16 +116,16 @@ WaveformBlock::IterationStats WaveformBlock::iterate_block_mode() {
     }
     const double t_next = dt_ * static_cast<double>(step);
     for (std::size_t r = 0; r < count_; ++r) {
-      y_prev[r] = new_.at(stencil_ + r, step - 1);
-      y_next[r] = old_.at(stencil_ + r, step);  // warm start: old iterate
+      y_prev_[r] = new_.at(stencil_ + r, step - 1);
+      y_next_[r] = old_.at(stencil_ + r, step);  // warm start: old iterate
     }
     for (std::size_t g = 0; g < stencil_; ++g) {
-      ghost_left[g] = old_.at(g, step);
-      ghost_right[g] = old_.at(stencil_ + count_ + g, step);
+      ghost_left_[g] = old_.at(g, step);
+      ghost_right_[g] = old_.at(stencil_ + count_ + g, step);
     }
     const BlockSolveResult solve = block_implicit_euler_step(
-        *system_, first_, y_prev, y_next, ghost_left, ghost_right, t_next,
-        dt_, newton_);
+        *system_, first_, y_prev_, y_next_, ghost_left_, ghost_right_,
+        t_next, dt_, newton_, newton_ws_);
     stats.newton_iterations += solve.newton_iterations;
     stats.work += (newton_.check_cost +
                    static_cast<double>(solve.newton_iterations)) *
@@ -129,8 +134,8 @@ WaveformBlock::IterationStats WaveformBlock::iterate_block_mode() {
     step_solved_[step] = solve.converged;
     bool changed = false;
     for (std::size_t r = 0; r < count_; ++r) {
-      if (y_next[r] != old_.at(stencil_ + r, step)) changed = true;
-      new_.at(stencil_ + r, step) = y_next[r];
+      if (y_next_[r] != old_.at(stencil_ + r, step)) changed = true;
+      new_.at(stencil_ + r, step) = y_next_[r];
     }
     prev_step_changed = changed;
   }
@@ -141,7 +146,7 @@ WaveformBlock::IterationStats WaveformBlock::iterate_block_mode() {
 WaveformBlock::IterationStats WaveformBlock::iterate_scalar_mode() {
   IterationStats stats;
   const std::size_t w = 2 * stencil_ + 1;
-  std::vector<double> window(w);
+  if (window_.size() != w) window_.resize(w);
   // Paper Algorithm 1 loop order: component outer, time inner; every
   // neighboring component (local ones included) is read from Yold.
   for (std::size_t r = 0; r < count_; ++r) {
@@ -151,11 +156,11 @@ WaveformBlock::IterationStats WaveformBlock::iterate_scalar_mode() {
       for (std::size_t slot = 0; slot < w; ++slot) {
         // Extended row of global component j + (slot - stencil_).
         const std::size_t row = r + slot;  // == (j+slot-s) - (first-s)
-        window[slot] = old_.at(row, step);
+        window_[slot] = old_.at(row, step);
       }
       const double y_prev = new_.at(stencil_ + r, step - 1);
       const ScalarSolveResult solve = scalar_implicit_euler_solve(
-          *system_, j, y_prev, window, t_next, dt_, newton_);
+          *system_, j, y_prev, window_, t_next, dt_, newton_, newton_ws_);
       new_.at(stencil_ + r, step) = solve.value;
       stats.newton_iterations += solve.iterations;
       stats.work +=
@@ -166,31 +171,37 @@ WaveformBlock::IterationStats WaveformBlock::iterate_scalar_mode() {
   return stats;
 }
 
-BoundaryMessage WaveformBlock::boundary_for_left() const {
-  BoundaryMessage msg;
+void WaveformBlock::boundary_for_left(BoundaryMessage& msg) const {
   msg.global_first = first_;
   msg.row_count = stencil_;
   msg.points = num_steps_ + 1;
   msg.sender_residual = last_residual_;
-  msg.rows.reserve(stencil_ * msg.points);
-  for (std::size_t g = 0; g < stencil_; ++g) {
-    auto row = old_.row(stencil_ + g);
-    msg.rows.insert(msg.rows.end(), row.begin(), row.end());
-  }
+  // resize() reuses capacity: allocation-free with a recycled message.
+  msg.rows.resize(stencil_ * msg.points);
+  // Rows are the first `stencil` owned components.
+  old_.copy_rows_into(stencil_, stencil_, msg.rows);
+}
+
+BoundaryMessage WaveformBlock::boundary_for_left() const {
+  BoundaryMessage msg;
+  boundary_for_left(msg);
   return msg;
 }
 
-BoundaryMessage WaveformBlock::boundary_for_right() const {
-  BoundaryMessage msg;
+void WaveformBlock::boundary_for_right(BoundaryMessage& msg) const {
   msg.global_first = first_ + count_ - stencil_;
   msg.row_count = stencil_;
   msg.points = num_steps_ + 1;
   msg.sender_residual = last_residual_;
-  msg.rows.reserve(stencil_ * msg.points);
-  for (std::size_t g = 0; g < stencil_; ++g) {
-    auto row = old_.row(count_ + g);  // components [first+count-s, first+count)
-    msg.rows.insert(msg.rows.end(), row.begin(), row.end());
-  }
+  msg.rows.resize(stencil_ * msg.points);
+  // Rows are the last `stencil` owned components,
+  // [first+count-s, first+count) — extended rows [count, count+s).
+  old_.copy_rows_into(count_, stencil_, msg.rows);
+}
+
+BoundaryMessage WaveformBlock::boundary_for_right() const {
+  BoundaryMessage msg;
+  boundary_for_right(msg);
   return msg;
 }
 
@@ -221,6 +232,29 @@ bool WaveformBlock::update_is_insignificant(const BoundaryMessage& msg,
   return true;
 }
 
+double WaveformBlock::ghost_update_disturbance(const BoundaryMessage& msg,
+                                               bool left) const {
+  // Mirror the accept_*_ghosts position/shape checks: a message they
+  // would reject never reaches the ghost rows, so it disturbs nothing.
+  if (left) {
+    if (first_ < stencil_ || msg.global_first != first_ - stencil_)
+      return 0.0;
+  } else {
+    if (at_right_boundary() || msg.global_first != first_ + count_)
+      return 0.0;
+  }
+  if (msg.row_count != stencil_ || msg.points != num_steps_ + 1) return 0.0;
+  double disturbance = 0.0;
+  for (std::size_t g = 0; g < stencil_; ++g) {
+    auto stored = old_.row(left ? g : stencil_ + count_ + g);
+    const double* incoming = msg.rows.data() + g * msg.points;
+    for (std::size_t t = 0; t < msg.points; ++t)
+      disturbance =
+          std::max(disturbance, std::abs(stored[t] - incoming[t]));
+  }
+  return disturbance;
+}
+
 bool WaveformBlock::accept_right_ghosts(const BoundaryMessage& msg) {
   if (at_right_boundary()) return false;  // no right neighbor exists
   if (msg.global_first != first_ + count_ || msg.row_count != stencil_ ||
@@ -235,52 +269,58 @@ bool WaveformBlock::accept_right_ghosts(const BoundaryMessage& msg) {
   return true;
 }
 
-MigrationPayload WaveformBlock::extract_for_left(std::size_t k) {
+void WaveformBlock::extract_for_left(std::size_t k,
+                                     MigrationPayload& payload) {
   invalidate_fast_path();
   if (k == 0 || k + stencil_ > count_)
     throw std::invalid_argument(
         "extract_for_left: must keep at least stencil components");
-  MigrationPayload payload;
   payload.direction = MigrationPayload::Direction::kToLeft;
   payload.row_first = first_;
   payload.owned_count = k;
   payload.stencil = stencil_;
   payload.points = num_steps_ + 1;
-  payload.rows.reserve((k + stencil_) * payload.points);
-  // Owned rows first, then the s dependency rows that stay owned here.
-  for (std::size_t r = 0; r < k + stencil_; ++r) {
-    auto row = old_.row(stencil_ + r);
-    payload.rows.insert(payload.rows.end(), row.begin(), row.end());
-  }
+  payload.rows.resize((k + stencil_) * payload.points);
+  // Owned rows first, then the s dependency rows that stay owned here:
+  // extended rows [stencil, stencil + k + s).
+  old_.copy_rows_into(stencil_, k + stencil_, payload.rows);
   // Shrink: the new extended range starts k rows later.
-  old_.extract_rows(0, k);
-  new_.extract_rows(0, k);
+  old_.remove_rows(0, k);
+  new_.remove_rows(0, k);
   first_ += k;
   count_ -= k;
+}
+
+MigrationPayload WaveformBlock::extract_for_left(std::size_t k) {
+  MigrationPayload payload;
+  extract_for_left(k, payload);
   return payload;
 }
 
-MigrationPayload WaveformBlock::extract_for_right(std::size_t k) {
+void WaveformBlock::extract_for_right(std::size_t k,
+                                      MigrationPayload& payload) {
   invalidate_fast_path();
   if (k == 0 || k + stencil_ > count_)
     throw std::invalid_argument(
         "extract_for_right: must keep at least stencil components");
-  MigrationPayload payload;
   payload.direction = MigrationPayload::Direction::kToRight;
   payload.row_first = first_ + count_ - k - stencil_;
   payload.owned_count = k;
   payload.stencil = stencil_;
   payload.points = num_steps_ + 1;
-  payload.rows.reserve((k + stencil_) * payload.points);
-  // Dependency rows first (they stay owned here), then the owned rows.
-  for (std::size_t r = count_ - k; r < count_ + stencil_; ++r) {
-    auto row = old_.row(r);  // extended rows [count-k, count+s)
-    payload.rows.insert(payload.rows.end(), row.begin(), row.end());
-  }
+  payload.rows.resize((k + stencil_) * payload.points);
+  // Dependency rows first (they stay owned here), then the owned rows:
+  // extended rows [count - k, count + s).
+  old_.copy_rows_into(count_ - k, k + stencil_, payload.rows);
   const std::size_t total = extended_rows();
-  old_.extract_rows(total - k, k);
-  new_.extract_rows(total - k, k);
+  old_.remove_rows(total - k, k);
+  new_.remove_rows(total - k, k);
   count_ -= k;
+}
+
+MigrationPayload WaveformBlock::extract_for_right(std::size_t k) {
+  MigrationPayload payload;
+  extract_for_right(k, payload);
   return payload;
 }
 

@@ -66,8 +66,12 @@ struct MigrationPayload {
   std::vector<double> rows;
 
   std::size_t row_count() const noexcept { return owned_count + stencil; }
+  /// Wire size charged by the virtual-time network model: every scalar
+  /// field travels with the payload (row_first, owned_count, stencil,
+  /// points, direction) plus the packed rows.
   std::size_t byte_size() const noexcept {
-    return rows.size() * sizeof(double) + 4 * sizeof(std::size_t);
+    return rows.size() * sizeof(double) + 4 * sizeof(std::size_t) +
+           sizeof(Direction);
   }
 };
 
@@ -86,9 +90,13 @@ struct BoundaryMessage {
   std::size_t sender_components = 0; // sender's owned component count
   std::vector<double> rows;
 
+  /// Wire size charged by the virtual-time network model. Counts every
+  /// header field — including the piggybacked load metadata (sender_load,
+  /// sender_iteration, sender_components), which earlier versions omitted,
+  /// undercharging each boundary send by 2 size_t + 1 double.
   std::size_t byte_size() const noexcept {
-    return rows.size() * sizeof(double) + 3 * sizeof(std::size_t) +
-           sizeof(double);
+    return rows.size() * sizeof(double) + 5 * sizeof(std::size_t) +
+           2 * sizeof(double);
   }
 };
 
@@ -124,6 +132,14 @@ class WaveformBlock {
   BoundaryMessage boundary_for_left() const;
   BoundaryMessage boundary_for_right() const;
 
+  /// Fill-into variants: overwrite `msg` (header and rows) in place,
+  /// reusing msg.rows' capacity. With a recycled message (see
+  /// runtime::BufferPool) the per-iteration boundary send path performs
+  /// zero allocations once warm. Piggybacked engine metadata (sender_load
+  /// etc.) is left untouched for the engine to fill.
+  void boundary_for_left(BoundaryMessage& msg) const;
+  void boundary_for_right(BoundaryMessage& msg) const;
+
   /// Incorporates a neighbor's boundary data into Yold. Returns true only
   /// when the update was actually applied. It is not applied when (a) the
   /// global position does not match the ghost rows this node currently
@@ -132,11 +148,26 @@ class WaveformBlock {
   bool accept_left_ghosts(const BoundaryMessage& msg);
   bool accept_right_ghosts(const BoundaryMessage& msg);
 
+  /// Max-norm difference between an undelivered boundary update and the
+  /// ghost rows it would overwrite — what folding the message in would
+  /// actually change. Messages accept_*_ghosts would reject (stale
+  /// position, wrong shape) cannot change anything and report 0. A
+  /// convergence detector uses this to distinguish harmless steady-state
+  /// traffic (difference within tolerance) from an unprocessed update
+  /// that would break local convergence.
+  double ghost_update_disturbance(const BoundaryMessage& msg,
+                                  bool left) const;
+
   /// Removes the leftmost (resp. rightmost) `k` owned components and
   /// packages them, with `stencil` dependency rows, for the neighbor.
   /// Requires 0 < k < count().
   MigrationPayload extract_for_left(std::size_t k);
   MigrationPayload extract_for_right(std::size_t k);
+
+  /// Fill-into variants reusing payload.rows' capacity (see the
+  /// BoundaryMessage counterparts).
+  void extract_for_left(std::size_t k, MigrationPayload& payload);
+  void extract_for_right(std::size_t k, MigrationPayload& payload);
 
   /// Absorbs a payload arriving from the right (direction kToLeft) /
   /// left (kToRight) neighbor. Throws std::logic_error if the payload is
@@ -194,6 +225,17 @@ class WaveformBlock {
   Trajectory ghost_snapshot_;       // 2*stencil rows: left ghosts, right ghosts
   std::vector<bool> step_solved_;   // indexed by step, 0..num_steps
   bool fast_path_valid_ = false;
+
+  // Solver workspace and per-step staging buffers, hoisted here so a
+  // steady-state iterate() performs zero heap allocations (the tentpole
+  // property the alloc-free tests pin down). The workspace also holds the
+  // chord-Newton factorization, which migrations invalidate.
+  NewtonWorkspace newton_ws_;
+  std::vector<double> y_prev_;
+  std::vector<double> y_next_;
+  std::vector<double> ghost_left_;
+  std::vector<double> ghost_right_;
+  std::vector<double> window_;      // scalar-mode stencil staging
 };
 
 }  // namespace aiac::ode

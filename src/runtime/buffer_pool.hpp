@@ -1,0 +1,75 @@
+// A free-list of row buffers for the threaded engine's message hot path.
+//
+// Boundary messages carry `stencil * (num_steps + 1)` doubles every outer
+// iteration on every link. Allocating those rows per send (and freeing
+// them per receive) put the allocator on the per-iteration critical path;
+// recycling them through this pool makes the steady-state send/receive
+// cycle allocation-free: after warm-up, every acquire() is served from the
+// free list with its capacity intact, and the fill-into packing variants
+// (WaveformBlock::boundary_for_*) reuse that capacity.
+//
+// Thread safety: a single mutex guards the free list. The critical section
+// is a vector swap — far cheaper than the malloc/free pair it replaces —
+// and the pool is shared by all worker threads of an engine.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace aiac::runtime {
+
+class BufferPool {
+ public:
+  /// `max_buffers` bounds the free list; releases beyond it deallocate
+  /// (a migration burst must not pin its peak memory forever).
+  explicit BufferPool(std::size_t max_buffers = 64)
+      : max_buffers_(max_buffers) {}
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// A buffer from the free list (capacity intact, size unspecified), or
+  /// an empty vector when the list is dry — callers size it themselves.
+  std::vector<double> acquire() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (free_.empty()) {
+      ++misses_;
+      return {};
+    }
+    ++hits_;
+    std::vector<double> buffer = std::move(free_.back());
+    free_.pop_back();
+    return buffer;
+  }
+
+  /// Returns a buffer to the free list. Empty vectors (e.g. rows moved
+  /// out of a message) are dropped — pooling them would only recycle
+  /// nullptrs.
+  void release(std::vector<double> buffer) {
+    if (buffer.capacity() == 0) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (free_.size() >= max_buffers_) return;  // excess deallocates here
+    free_.push_back(std::move(buffer));
+  }
+
+  struct Stats {
+    std::size_t hits = 0;    // acquires served from the free list
+    std::size_t misses = 0;  // acquires that returned an empty buffer
+    std::size_t free = 0;    // buffers currently pooled
+  };
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return {hits_, misses_, free_.size()};
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::vector<double>> free_;
+  std::size_t max_buffers_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace aiac::runtime

@@ -100,14 +100,20 @@ class SlotBox {
   /// Stale replay additionally requires T to be copy-constructible.
   void set_fault_hook(ChannelFaultHook* hook) { hook_ = hook; }
 
-  /// Overwrites any unread value ("latest data wins").
-  void put(T value) {
+  /// Overwrites any unread value ("latest data wins"). Returns the
+  /// displaced unread value, if any, so the pushing thread can recycle
+  /// its buffers (see runtime::BufferPool) — overwritten boundary data
+  /// would otherwise be destroyed here, on the hot path, allocatively.
+  std::optional<T> put(T value) {
     if (hook_) return put_with_faults(std::move(value));
+    std::optional<T> displaced;
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      displaced = std::move(slot_);
       slot_ = std::move(value);
     }
     if (notifier_) notifier_->notify();
+    return displaced;
   }
 
   /// Takes the value, leaving the slot empty.
@@ -124,11 +130,13 @@ class SlotBox {
   }
 
  private:
-  void put_with_faults(T value) {
+  std::optional<T> put_with_faults(T value) {
     const ChannelFault fault = hook_->on_deliver();
     if (fault.delay.count() > 0) std::this_thread::sleep_for(fault.delay);
+    std::optional<T> displaced;
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      displaced = std::move(slot_);
       if constexpr (std::is_copy_constructible_v<T>) {
         if (fault.replay_stale && stale_copy_) {
           // The previously delivered value arrives "again", after (and
@@ -147,6 +155,7 @@ class SlotBox {
       }
     }
     if (notifier_) notifier_->notify();
+    return displaced;
   }
 
   struct Empty {};

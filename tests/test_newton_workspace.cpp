@@ -1,0 +1,334 @@
+// Workspace-reuse and chord-Newton tests for the block implicit-Euler
+// solver, plus agreement checks for the batched OdeSystem range entry
+// points (rhs_range / jacobian_band_range) against their per-component
+// definitions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "ode/brusselator.hpp"
+#include "ode/fisher_kpp.hpp"
+#include "ode/linear_diffusion.hpp"
+#include "ode/newton.hpp"
+
+namespace {
+
+using namespace aiac::ode;
+
+Brusselator small_brusselator() {
+  Brusselator::Params params;
+  params.grid_points = 16;
+  return Brusselator(params);
+}
+
+FisherKpp small_fisher() {
+  FisherKpp::Params params;
+  params.grid_points = 32;
+  return FisherKpp(params);
+}
+
+/// Integrates `steps` implicit-Euler steps of the whole domain as one
+/// block, returning the final state. Exercises whichever reuse mode and
+/// workspace the options ask for.
+std::vector<double> integrate_block(const OdeSystem& system, double dt,
+                                    std::size_t steps,
+                                    const NewtonOptions& opts,
+                                    NewtonWorkspace* ws,
+                                    std::size_t* factorizations = nullptr,
+                                    std::size_t* newton_iters = nullptr) {
+  const std::size_t n = system.dimension();
+  std::vector<double> y_prev(n), y_next(n);
+  system.initial_state(y_prev);
+  std::vector<double> ghost;  // whole-domain block: ghosts never read
+  std::size_t facts = 0, iters = 0;
+  for (std::size_t k = 0; k < steps; ++k) {
+    y_next = y_prev;  // warm start from the previous step
+    const double t_next = dt * static_cast<double>(k + 1);
+    BlockSolveResult result;
+    if (ws != nullptr)
+      result = block_implicit_euler_step(system, 0, y_prev, y_next, ghost,
+                                         ghost, t_next, dt, opts, *ws);
+    else
+      result = block_implicit_euler_step(system, 0, y_prev, y_next, ghost,
+                                         ghost, t_next, dt, opts);
+    EXPECT_TRUE(result.converged) << "step " << k;
+    facts += result.factorizations;
+    iters += result.newton_iterations;
+    y_prev = y_next;
+  }
+  if (factorizations != nullptr) *factorizations = facts;
+  if (newton_iters != nullptr) *newton_iters = iters;
+  return y_prev;
+}
+
+double max_abs_diff(const std::vector<double>& a,
+                    const std::vector<double>& b) {
+  double best = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    best = std::max(best, std::abs(a[i] - b[i]));
+  return best;
+}
+
+// ---- Workspace overload vs legacy entry point ---------------------------
+
+TEST(NewtonWorkspace, WorkspaceOverloadMatchesLegacyBitForBit) {
+  const auto system = small_brusselator();
+  NewtonOptions opts;  // kFresh
+  NewtonWorkspace ws;
+  const auto legacy = integrate_block(system, 0.01, 8, opts, nullptr);
+  const auto pooled = integrate_block(system, 0.01, 8, opts, &ws);
+  // Same arithmetic in the same order: results are identical, not merely
+  // close.
+  EXPECT_EQ(max_abs_diff(legacy, pooled), 0.0);
+}
+
+TEST(NewtonWorkspace, BuffersAreReusedAcrossCalls) {
+  const auto system = small_brusselator();
+  NewtonOptions opts;
+  NewtonWorkspace ws;
+  (void)integrate_block(system, 0.01, 2, opts, &ws);
+  const double* rhs_data = ws.rhs.data();
+  const double* window_data = ws.window.data();
+  const double* band_data = ws.band.data();
+  (void)integrate_block(system, 0.01, 4, opts, &ws);
+  // Same block shape: no buffer was reallocated.
+  EXPECT_EQ(ws.rhs.data(), rhs_data);
+  EXPECT_EQ(ws.window.data(), window_data);
+  EXPECT_EQ(ws.band.data(), band_data);
+}
+
+// ---- Chord Newton -------------------------------------------------------
+
+TEST(ChordNewton, BrusselatorChordMatchesFullNewton) {
+  const auto system = small_brusselator();
+  NewtonOptions fresh;
+  fresh.tolerance = 1e-10;
+  NewtonOptions chord = fresh;
+  chord.jacobian_reuse = JacobianReuse::kChordAcrossSteps;
+  NewtonWorkspace ws_fresh, ws_chord;
+  const auto a = integrate_block(system, 0.01, 20, fresh, &ws_fresh);
+  const auto b = integrate_block(system, 0.01, 20, chord, &ws_chord);
+  // Both solve the same nonlinear systems to the same update tolerance;
+  // the chord path may stop at a slightly different iterate within it.
+  EXPECT_LT(max_abs_diff(a, b), 10 * fresh.tolerance);
+}
+
+TEST(ChordNewton, FisherKppChordMatchesFullNewton) {
+  const auto system = small_fisher();
+  NewtonOptions fresh;
+  fresh.tolerance = 1e-10;
+  NewtonOptions chord = fresh;
+  chord.jacobian_reuse = JacobianReuse::kChordAcrossSteps;
+  NewtonWorkspace ws_fresh, ws_chord;
+  const auto a = integrate_block(system, 0.005, 20, fresh, &ws_fresh);
+  const auto b = integrate_block(system, 0.005, 20, chord, &ws_chord);
+  EXPECT_LT(max_abs_diff(a, b), 10 * fresh.tolerance);
+}
+
+TEST(ChordNewton, AcrossStepsFactorizesLessThanFresh) {
+  const auto system = small_brusselator();
+  NewtonOptions fresh;
+  NewtonOptions chord = fresh;
+  chord.jacobian_reuse = JacobianReuse::kChordAcrossSteps;
+  NewtonWorkspace ws_fresh, ws_chord;
+  std::size_t facts_fresh = 0, iters_fresh = 0;
+  std::size_t facts_chord = 0, iters_chord = 0;
+  (void)integrate_block(system, 0.01, 20, fresh, &ws_fresh, &facts_fresh,
+                        &iters_fresh);
+  (void)integrate_block(system, 0.01, 20, chord, &ws_chord, &facts_chord,
+                        &iters_chord);
+  // Fresh mode factorizes every Newton iteration; the chord policy
+  // amortizes factorizations across iterations and steps.
+  EXPECT_EQ(facts_fresh, iters_fresh);
+  EXPECT_LT(facts_chord, facts_fresh);
+  EXPECT_EQ(ws_chord.factorizations, facts_chord);
+}
+
+TEST(ChordNewton, ShapeChangeInvalidatesHeldFactorization) {
+  const auto system = small_brusselator();
+  const std::size_t n = system.dimension();
+  NewtonOptions chord;
+  chord.jacobian_reuse = JacobianReuse::kChordAcrossSteps;
+  NewtonWorkspace ws;
+  std::vector<double> y0(n), y_prev, y_next;
+  system.initial_state(y0);
+  const std::vector<double> ghost(system.stencil_halfwidth(), 1.0);
+
+  // Solve the left half-block, keeping the factorization.
+  y_prev.assign(y0.begin(), y0.begin() + static_cast<std::ptrdiff_t>(n / 2));
+  y_next = y_prev;
+  auto r1 = block_implicit_euler_step(system, 0, y_prev, y_next, ghost,
+                                      ghost, 0.01, 0.01, chord, ws);
+  ASSERT_TRUE(r1.converged);
+  ASSERT_TRUE(ws.jac_valid);
+  EXPECT_EQ(ws.jac_rows, n / 2);
+
+  // A different block size must force a refactorization.
+  const std::size_t facts_before = ws.factorizations;
+  y_prev.assign(y0.begin(), y0.begin() + static_cast<std::ptrdiff_t>(n / 4));
+  y_next = y_prev;
+  auto r2 = block_implicit_euler_step(system, 0, y_prev, y_next, ghost,
+                                      ghost, 0.01, 0.01, chord, ws);
+  ASSERT_TRUE(r2.converged);
+  if (r2.newton_iterations > 0) {
+    EXPECT_GT(ws.factorizations, facts_before);
+  }
+  EXPECT_EQ(ws.jac_rows, n / 4);
+
+  // Explicit invalidation (what migrations do) drops the factorization.
+  ws.invalidate_jacobian();
+  EXPECT_FALSE(ws.jac_valid);
+}
+
+TEST(ChordNewton, DtChangeInvalidatesHeldFactorization) {
+  const auto system = small_brusselator();
+  const std::size_t n = system.dimension();
+  NewtonOptions chord;
+  chord.jacobian_reuse = JacobianReuse::kChordAcrossSteps;
+  NewtonWorkspace ws;
+  std::vector<double> y_prev(n), y_next;
+  system.initial_state(y_prev);
+  std::vector<double> ghost;
+  y_next = y_prev;
+  auto r1 = block_implicit_euler_step(system, 0, y_prev, y_next, ghost,
+                                      ghost, 0.01, 0.01, chord, ws);
+  ASSERT_TRUE(r1.converged);
+  ASSERT_TRUE(ws.jac_valid);
+  EXPECT_EQ(ws.jac_dt, 0.01);
+  const std::size_t facts_before = ws.factorizations;
+  y_next = y_prev;
+  auto r2 = block_implicit_euler_step(system, 0, y_prev, y_next, ghost,
+                                      ghost, 0.02, 0.02, chord, ws);
+  ASSERT_TRUE(r2.converged);
+  if (r2.newton_iterations > 0) {
+    EXPECT_GT(ws.factorizations, facts_before);
+    EXPECT_EQ(ws.jac_dt, 0.02);
+  }
+}
+
+TEST(ChordNewton, PlainChordDoesNotCarryFactorizationOut) {
+  const auto system = small_brusselator();
+  const std::size_t n = system.dimension();
+  NewtonOptions chord;
+  chord.jacobian_reuse = JacobianReuse::kChord;
+  NewtonWorkspace ws;
+  std::vector<double> y_prev(n), y_next;
+  system.initial_state(y_prev);
+  std::vector<double> ghost;
+  y_next = y_prev;
+  auto r = block_implicit_euler_step(system, 0, y_prev, y_next, ghost,
+                                     ghost, 0.01, 0.01, chord, ws);
+  ASSERT_TRUE(r.converged);
+  EXPECT_FALSE(ws.jac_valid);  // per-step reuse only
+}
+
+// ---- Batched range entry points vs per-component definitions ------------
+
+/// Shared check: rhs_range and jacobian_band_range over a mid-domain block
+/// must agree with rhs_component / rhs_partial on sliding windows.
+void check_range_agreement(const OdeSystem& system) {
+  const std::size_t n = system.dimension();
+  const std::size_t s = system.stencil_halfwidth();
+  const std::size_t width = system.window_size();
+  std::vector<double> y(n);
+  system.initial_state(y);
+  // Perturb so products of distinct components differ.
+  for (std::size_t i = 0; i < n; ++i)
+    y[i] += 0.01 * static_cast<double>(i % 7);
+
+  const std::size_t first = 2, count = n - 4;
+  std::vector<double> y_ext(count + 2 * s);
+  for (std::size_t i = 0; i < y_ext.size(); ++i) y_ext[i] = y[first - s + i];
+
+  std::vector<double> out(count);
+  system.rhs_range(first, count, 0.0, y_ext, out);
+  std::vector<double> band_rows(count * width);
+  system.jacobian_band_range(first, count, 0.0, y_ext, band_rows);
+
+  std::vector<double> window(width), band(width);
+  for (std::size_t r = 0; r < count; ++r) {
+    const std::size_t j = first + r;
+    system.extract_window(y, j, window);
+    EXPECT_NEAR(out[r], system.rhs_component(j, 0.0, window), 1e-14)
+        << "component " << j;
+    system.jacobian_band_row(j, 0.0, window, band);
+    for (std::size_t slot = 0; slot < width; ++slot) {
+      EXPECT_NEAR(band_rows[r * width + slot], band[slot], 1e-14)
+          << "component " << j << " slot " << slot;
+      // jacobian_band_row itself against rhs_partial.
+      const std::ptrdiff_t k = static_cast<std::ptrdiff_t>(j + slot) -
+                               static_cast<std::ptrdiff_t>(s);
+      if (k >= 0 && k < static_cast<std::ptrdiff_t>(n)) {
+        EXPECT_NEAR(band[slot],
+                    system.rhs_partial(j, static_cast<std::size_t>(k), 0.0,
+                                       window),
+                    1e-14)
+            << "component " << j << " slot " << slot;
+      }
+    }
+  }
+}
+
+TEST(OdeRangeApis, BrusselatorRangesMatchComponentwise) {
+  check_range_agreement(small_brusselator());
+}
+
+TEST(OdeRangeApis, FisherKppRangesMatchComponentwise) {
+  check_range_agreement(small_fisher());
+}
+
+TEST(OdeRangeApis, LinearDiffusionRangesMatchComponentwise) {
+  LinearDiffusion::Params params;
+  params.grid_points = 24;
+  check_range_agreement(LinearDiffusion(params));
+}
+
+TEST(OdeRangeApis, BoundaryBlocksAgreeToo) {
+  const auto system = small_brusselator();
+  const std::size_t n = system.dimension();
+  const std::size_t s = system.stencil_halfwidth();
+  std::vector<double> y(n);
+  system.initial_state(y);
+
+  // Left-edge block: out-of-domain y_ext slots must be zero (never read).
+  const std::size_t count = 6;
+  std::vector<double> y_ext(count + 2 * s, 0.0);
+  for (std::size_t i = 0; i < count + s; ++i) y_ext[s + i] = y[i];
+  std::vector<double> out(count);
+  system.rhs_range(0, count, 0.0, y_ext, out);
+  std::vector<double> window(system.window_size());
+  for (std::size_t j = 0; j < count; ++j) {
+    system.extract_window(y, j, window);
+    EXPECT_NEAR(out[j], system.rhs_component(j, 0.0, window), 1e-14);
+  }
+
+  // Right-edge block.
+  const std::size_t first = n - count;
+  std::fill(y_ext.begin(), y_ext.end(), 0.0);
+  for (std::size_t i = 0; i < count + s; ++i) y_ext[i] = y[first - s + i];
+  system.rhs_range(first, count, 0.0, y_ext, out);
+  for (std::size_t r = 0; r < count; ++r) {
+    const std::size_t j = first + r;
+    system.extract_window(y, j, window);
+    EXPECT_NEAR(out[r], system.rhs_component(j, 0.0, window), 1e-14);
+  }
+}
+
+TEST(OdeRangeApis, RangeSizeMismatchesThrow) {
+  const auto system = small_brusselator();
+  std::vector<double> y_ext(10), out(4), band(20);
+  // y_ext must be count + 2*stencil = 8.
+  EXPECT_THROW(system.rhs_range(0, 4, 0.0, y_ext, out),
+               std::invalid_argument);
+  std::vector<double> y_ext_ok(8);
+  std::vector<double> out_bad(3);
+  EXPECT_THROW(system.rhs_range(0, 4, 0.0, y_ext_ok, out_bad),
+               std::invalid_argument);
+  std::vector<double> band_bad(19);
+  EXPECT_THROW(system.jacobian_band_range(0, 4, 0.0, y_ext_ok, band_bad),
+               std::invalid_argument);
+}
+
+}  // namespace
