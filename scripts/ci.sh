@@ -2,7 +2,9 @@
 # CI pipeline: tier-1 (plain Release, full suite), then ThreadSanitizer and
 # AddressSanitizer+UBSan jobs over the runtime/chaos/algo/check-labelled
 # tests (the algo label covers the cross-backend engine-parity suite, the
-# check label the model-checker suite), then static analysis.
+# check label the model-checker suite, the net label the socket backend's
+# wire-format fuzz + cross-engine parity + fault-path suite), then static
+# analysis.
 #
 #   scripts/ci.sh            # everything
 #   scripts/ci.sh tier1      # just the plain build + full ctest
@@ -36,6 +38,12 @@ tsan() {
   echo "==> TSan: runtime + chaos labelled tests"
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Tsan >/dev/null
   cmake --build build-tsan -j"$jobs"
+  # The net label is deliberately absent here: its tests fork worker
+  # processes, and TSan's runtime does not support instrumenting across
+  # fork+exec-less multiprocess trees (the child inherits a poisoned
+  # shadow). The net workers' intra-process threading is the same code
+  # TSan already covers via the runtime/algo labels; the cross-process
+  # paths get ASan+UBSan below instead.
   AIAC_CHAOS_SEEDS="${AIAC_CHAOS_SEEDS:-25}" \
   AIAC_CHECK_SCHEDULES="${AIAC_CHECK_SCHEDULES:-200}" \
   TSAN_OPTIONS="halt_on_error=1" \
@@ -44,13 +52,13 @@ tsan() {
 }
 
 asan() {
-  echo "==> ASan+UBSan: runtime + chaos labelled tests"
+  echo "==> ASan+UBSan: runtime + chaos + net labelled tests"
   cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Asan >/dev/null
   cmake --build build-asan -j"$jobs"
   AIAC_CHAOS_SEEDS="${AIAC_CHAOS_SEEDS:-25}" \
   AIAC_CHECK_SCHEDULES="${AIAC_CHECK_SCHEDULES:-200}" \
   ASAN_OPTIONS="detect_leaks=1" UBSAN_OPTIONS="halt_on_error=1" \
-    ctest --test-dir build-asan -L 'chaos|runtime|algo|check' \
+    ctest --test-dir build-asan -L 'chaos|runtime|algo|check|net' \
       --output-on-failure
 }
 

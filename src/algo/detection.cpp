@@ -9,12 +9,27 @@ DetectionProtocol::DetectionProtocol(DetectionMode mode,
                                      std::size_t processors,
                                      Transport& transport,
                                      DetectionDriver& driver)
-    : mode_(mode),
+    : distributed_(transport.delivers_control_frames()),
+      mode_(mode),
       processors_(processors),
       transport_(&transport),
       driver_(&driver),
       reported_(processors, false),
       coordinator_view_(processors, false) {}
+
+/// Every protocol message leaves through here: the in-process drivers get
+/// the frame wrapped in a post_control closure (delivered with the
+/// driver's latency and accounting, exactly the old behavior), a
+/// frame-delivering transport gets the plain frame to put on the wire.
+void DetectionProtocol::send(std::size_t src, std::size_t dst,
+                             const ControlFrame& frame) {
+  if (distributed_) {
+    transport_->send_control_frame(src, dst, frame);
+    return;
+  }
+  transport_->post_control(src, dst,
+                           [this, dst, frame] { handle_control(dst, frame); });
+}
 
 void DetectionProtocol::on_iteration_end(std::size_t rank) {
   if (halting_) return;
@@ -30,6 +45,68 @@ void DetectionProtocol::on_iteration_end(std::size_t rank) {
   }
 }
 
+void DetectionProtocol::handle_control(std::size_t at,
+                                       const ControlFrame& frame) {
+  switch (frame.kind) {
+    case ControlFrame::Kind::kReport:
+      if (halting_) return;
+      coordinator_view_[frame.sender] = frame.flag;
+      if (!frame.flag) {
+        // A node left convergence: abort any in-flight verification.
+        verifying_ = false;
+        verify_rearm_ = false;
+        ++verify_epoch_;
+        return;
+      }
+      maybe_begin_verification();
+      return;
+    case ControlFrame::Kind::kHeartbeat:
+      maybe_begin_verification();
+      return;
+    case ControlFrame::Kind::kVerifyRequest: {
+      if (halting_) return;
+      // A stale request (the round it belongs to was aborted) is dropped
+      // early where the current epoch is known: always in the shared
+      // instance, only at rank 0 in the distributed deployment — a remote
+      // rank cannot see the coordinator's epoch, so it acks anyway and
+      // rank 0 discards the stale ack on arrival.
+      if ((!distributed_ || at == 0) && frame.epoch != verify_epoch_) return;
+      const bool ok = driver_->confirm_converged(at);
+      ControlFrame ack;
+      ack.kind = ControlFrame::Kind::kVerifyAck;
+      ack.sender = at;
+      ack.epoch = frame.epoch;
+      ack.flag = ok;
+      send(at, 0, ack);
+      return;
+    }
+    case ControlFrame::Kind::kVerifyAck:
+      if (halting_ || frame.epoch != verify_epoch_) return;
+      if (!frame.flag) {
+        verifying_ = false;
+        ++verify_epoch_;
+        if (verify_rearm_) maybe_begin_verification();
+        return;
+      }
+      if (++verify_acks_ == processors_) halt();
+      return;
+    case ControlFrame::Kind::kToken:
+      token_in_flight_ = false;
+      token_holder_ = at;
+      token_count_ = frame.count;
+      if (halting_) return;
+      // A busy node folds the token in at its next iteration end; an idle
+      // one must process it now or the ring stalls.
+      if (driver_->node_idle(at)) handle_token(at);
+      return;
+    case ControlFrame::Kind::kHalt:
+      // Only a frame-delivering driver ships these (its broadcast_halt);
+      // the receiving worker polls halting() and winds down.
+      halting_ = true;
+      return;
+  }
+}
+
 void DetectionProtocol::coordinator_report(std::size_t rank) {
   const bool now_converged = driver_->locally_converged(rank);
   if (now_converged == reported_[rank]) {
@@ -37,24 +114,20 @@ void DetectionProtocol::coordinator_report(std::size_t rank) {
     // iteration end. It re-arms verification after an aborted round —
     // without it, a round aborted by a node that was mid-iteration would
     // never retry once that node settles without flipping its report.
-    if (now_converged)
-      transport_->post_control(rank, 0,
-                               [this] { maybe_begin_verification(); });
+    if (now_converged) {
+      ControlFrame ping;
+      ping.kind = ControlFrame::Kind::kHeartbeat;
+      ping.sender = rank;
+      send(rank, 0, ping);
+    }
     return;
   }
   reported_[rank] = now_converged;
-  transport_->post_control(rank, 0, [this, rank, now_converged] {
-    if (halting_) return;
-    coordinator_view_[rank] = now_converged;
-    if (!now_converged) {
-      // A node left convergence: abort any in-flight verification.
-      verifying_ = false;
-      verify_rearm_ = false;
-      ++verify_epoch_;
-      return;
-    }
-    maybe_begin_verification();
-  });
+  ControlFrame report;
+  report.kind = ControlFrame::Kind::kReport;
+  report.sender = rank;
+  report.flag = now_converged;
+  send(rank, 0, report);
 }
 
 void DetectionProtocol::maybe_begin_verification() {
@@ -73,20 +146,11 @@ void DetectionProtocol::maybe_begin_verification() {
   for (std::size_t r = 0; r < processors_; ++r) {
     // Request evaluated at the destination when the control message
     // lands; the ack carries the verdict back to rank 0.
-    transport_->post_control(0, r, [this, r, epoch] {
-      if (halting_ || epoch != verify_epoch_) return;
-      const bool ok = driver_->confirm_converged(r);
-      transport_->post_control(r, 0, [this, epoch, ok] {
-        if (halting_ || epoch != verify_epoch_) return;
-        if (!ok) {
-          verifying_ = false;
-          ++verify_epoch_;
-          if (verify_rearm_) maybe_begin_verification();
-          return;
-        }
-        if (++verify_acks_ == processors_) halt();
-      });
-    });
+    ControlFrame request;
+    request.kind = ControlFrame::Kind::kVerifyRequest;
+    request.sender = 0;
+    request.epoch = epoch;
+    send(0, r, request);
   }
 }
 
@@ -99,15 +163,15 @@ void DetectionProtocol::handle_token(std::size_t rank) {
     return;
   }
   const std::size_t next = (rank + 1) % processors_;
+  // The sender stops acting as holder the moment the token leaves; the
+  // shared instance clears in_flight/holder when the frame lands, a
+  // distributed receiver's own instance does so in its handler.
   token_in_flight_ = true;
-  transport_->post_control(rank, next, [this, next] {
-    token_in_flight_ = false;
-    token_holder_ = next;
-    if (halting_) return;
-    // A busy node folds the token in at its next iteration end; an idle
-    // one must process it now or the ring stalls.
-    if (driver_->node_idle(next)) handle_token(next);
-  });
+  ControlFrame token;
+  token.kind = ControlFrame::Kind::kToken;
+  token.sender = rank;
+  token.count = token_count_;
+  send(rank, next, token);
 }
 
 void DetectionProtocol::halt() {

@@ -69,14 +69,30 @@ class DetectionProtocol {
   /// in if this node holds it.
   void on_iteration_end(std::size_t rank);
 
+  /// Processes a control frame in rank `at`'s execution context. Every
+  /// control message of the protocol is a plain-data ControlFrame; for the
+  /// in-process drivers this is invoked by the closure the frame traveled
+  /// in (Transport::post_control), while a frame-delivering transport
+  /// (Transport::delivers_control_frames) hands decoded wire frames here
+  /// directly — one protocol instance per process, `at` always the local
+  /// rank.
+  void handle_control(std::size_t at, const ControlFrame& frame);
+
   /// The halt decision has been taken (broadcast may still be in flight).
   bool halting() const noexcept { return halting_; }
 
  private:
+  void send(std::size_t src, std::size_t dst, const ControlFrame& frame);
   void coordinator_report(std::size_t rank);
   void maybe_begin_verification();
   void handle_token(std::size_t rank);
   void halt();
+
+  /// One instance per process, frames over a real wire (see
+  /// handle_control). Coordinator bookkeeping then lives only in rank 0's
+  /// instance and sender state only in the sender's; the shared-instance
+  /// drivers see bit-identical behavior through the closure path.
+  bool distributed_ = false;
 
   DetectionMode mode_;
   std::size_t processors_;

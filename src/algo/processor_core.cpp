@@ -66,13 +66,11 @@ ProcessorCore::BeginInfo ProcessorCore::begin_iteration() {
     block_.absorb_from_left(pending_from_left_.front());
     pending_from_left_.pop_front();
     info.absorbed_from_left = true;
-    residual_stale_ = true;
   }
   while (!pending_from_right_.empty()) {
     block_.absorb_from_right(pending_from_right_.front());
     pending_from_right_.pop_front();
     info.absorbed_from_right = true;
-    residual_stale_ = true;
   }
   if (inbox_left_full_) {
     // Position check (paper Algorithm 7): silently dropped when the
@@ -87,6 +85,13 @@ ProcessorCore::BeginInfo ProcessorCore::begin_iteration() {
     inbox_right_full_ = false;
   }
   info.external_input |= info.absorbed_from_left || info.absorbed_from_right;
+  // Any folded-in input invalidates the last residual until the iterate
+  // that is about to run covers it. Note this does NOT touch the streak:
+  // the report a node sends at iteration end is computed after the
+  // covering iterate, so steady-state traffic still cannot make reports
+  // flip forever — only a mid-iterate convergence *confirmation* is held
+  // back, which is exactly the window where it would be unsound.
+  residual_stale_ |= info.external_input;
   return info;
 }
 

@@ -171,12 +171,19 @@ class ProcessorCore {
   std::size_t iteration() const noexcept { return iteration_; }
   double last_residual() const noexcept { return last_residual_; }
   double last_iteration_seconds() const noexcept { return last_seconds_; }
-  /// Components were absorbed that the last residual does not cover yet;
-  /// blocks the convergence oracle until the next iteration completes.
+  /// Inputs were folded in (absorbed components or accepted ghost
+  /// updates) that the last residual does not cover yet; clears when the
+  /// covering iterate finishes.
   bool residual_stale() const noexcept { return residual_stale_; }
   std::size_t under_tol_streak() const noexcept { return under_tol_streak_; }
+  /// The persistence streak is a convergence claim about the rows and
+  /// ghosts the streak's residuals were measured on. While the residual
+  /// is stale the claim does not transfer to the current state, so the
+  /// core must not report converged: a coordinator verification landing
+  /// between a migration's absorb and its covering iterate would
+  /// otherwise halt the fleet on data nobody ever iterated.
   bool locally_converged() const noexcept {
-    return under_tol_streak_ >= params_.persistence;
+    return under_tol_streak_ >= params_.persistence && !residual_stale_;
   }
   /// Nothing buffered: boundary inboxes empty and no queued migrations.
   bool inputs_quiescent() const noexcept {

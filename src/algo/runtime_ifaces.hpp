@@ -14,11 +14,33 @@
 
 #include <cstddef>
 #include <functional>
+#include <stdexcept>
 
 #include "algo/types.hpp"
 #include "ode/waveform_block.hpp"
 
 namespace aiac::algo {
+
+/// One convergence-detection control message as plain data. The protocol
+/// (algo/detection.hpp) used to exchange these as closures, which only
+/// works while every rank lives in one address space; as a struct the same
+/// protocol can run with one instance per OS process, the frames shipped
+/// over a real wire (src/net/wire.hpp serializes exactly this).
+struct ControlFrame {
+  enum class Kind : unsigned char {
+    kReport,         // sender's local-convergence flag flipped
+    kHeartbeat,      // still-converged ping; re-arms aborted verifications
+    kVerifyRequest,  // coordinator asks a node to confirm its report
+    kVerifyAck,      // the node's verdict, echoing the round's epoch
+    kToken,          // token-ring token carrying the converged-lap count
+    kHalt,           // the halt decision reached this rank
+  };
+  Kind kind = Kind::kReport;
+  std::size_t sender = 0;  // originating rank
+  std::size_t epoch = 0;   // verification round (kVerifyRequest/kVerifyAck)
+  std::size_t count = 0;   // converged-lap count (kToken)
+  bool flag = false;       // converged? (kReport) / confirmed? (kVerifyAck)
+};
 
 class Transport {
  public:
@@ -43,6 +65,27 @@ class Transport {
   /// threaded one. The driver accounts message counts/bytes.
   virtual void post_control(std::size_t src, std::size_t dst,
                             std::function<void()> deliver) = 0;
+
+  // ---- Capability hooks (multi-process transports) --------------------
+
+  /// True when this transport ships detection control as plain-data
+  /// ControlFrames to remote ranks instead of in-process closures. The
+  /// in-process drivers (simulated, threaded, model checker) keep the
+  /// closure path and share one DetectionProtocol instance; a
+  /// frame-delivering transport (the socket backend) runs one protocol
+  /// instance per process and routes every control message — including
+  /// self-addressed ones — through send_control_frame.
+  virtual bool delivers_control_frames() const { return false; }
+
+  /// Ships `frame` to rank `dst`; the receiving driver must hand it to its
+  /// local DetectionProtocol::handle_control in `dst`'s execution context.
+  /// Only called when delivers_control_frames() is true.
+  virtual void send_control_frame(std::size_t /*src*/, std::size_t /*dst*/,
+                                  const ControlFrame& /*frame*/) {
+    throw std::logic_error(
+        "Transport::send_control_frame: transport does not deliver "
+        "control frames");
+  }
 };
 
 class ClockModel {

@@ -91,6 +91,11 @@ struct EngineConfig {
 
 struct EngineResult {
   bool converged = false;
+  /// Human-readable cause when the run stopped without converging (budget
+  /// exhaustion, a peer process going down on the socket backend, ...);
+  /// empty on a clean converged run. Shared by all three drivers so
+  /// launchers report one field instead of backend-specific state.
+  std::string failure_reason;
   /// Virtual seconds (simulated backend) or wall seconds (thread backend)
   /// from start to detected global convergence.
   double execution_time = 0.0;

@@ -1,6 +1,7 @@
 #include "core/sim_engine.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <memory>
 #include <optional>
@@ -59,6 +60,7 @@ class SimEngine final : public algo::Transport,
     procs_.resize(nprocs);
     lb_link_busy_.assign(nprocs > 0 ? nprocs - 1 : 0, false);
     lb_link_inflight_.resize(nprocs > 0 ? nprocs - 1 : 0);
+    link_clear_.assign(nprocs > 0 ? nprocs - 1 : 0, {0.0, 0.0});
     protocol_ = std::make_unique<algo::DetectionProtocol>(
         config.detection, nprocs, *this, *this);
     if (trace_) trace_->set_processor_count(nprocs);
@@ -104,15 +106,16 @@ class SimEngine final : public algo::Transport,
     const double now_ = sim_.now();
     const double delay =
         grid_.message_delay(src, dst, payload.byte_size(), now_);
-    algo::emit_message(trace_, src, dst, now_, now_ + delay,
+    const double arrival = link_delivery_time(src, dst, now_ + delay);
+    algo::emit_message(trace_, src, dst, now_, arrival,
                        payload.byte_size(), trace::MessageKind::kLoadBalance);
     algo::emit_migration(trace_, src, dst, now_, amount);
     AIAC_DEBUG("lb") << "t=" << now_ << " proc " << src << " sends " << amount
                      << " components " << (to_left ? "left" : "right");
 
     lb_link_inflight_[link] = payload;  // recoverable if we stop mid-flight
-    sim_.schedule_at(now_ + delay, [this, dst, link,
-                                    payload = std::move(payload), to_left] {
+    sim_.schedule_at(arrival, [this, dst, link,
+                               payload = std::move(payload), to_left] {
       lb_link_inflight_[link].reset();
       if (stopped_) return;
       fleet_->core(dst).enqueue_migration(to_left ? Side::kRight : Side::kLeft,
@@ -275,6 +278,20 @@ class SimEngine final : public algo::Transport,
     });
   }
 
+  /// Per-directed-link FIFO: the grid's data channels are TCP streams, so
+  /// a later send never overtakes an earlier one — even when the delay
+  /// model says a small frame travels faster than the big one ahead of
+  /// it. Without this clamp a boundary update could overtake a migration
+  /// (or be overtaken by one), get dropped by the receiver's position
+  /// check, and never be resent; a sender that then goes dormant leaves
+  /// the fleet to halt on a stale interface no local test can see.
+  double link_delivery_time(std::size_t src, std::size_t dst, double eta) {
+    double& clear = link_clear_[std::min(src, dst)][src < dst ? 0 : 1];
+    const double arrival = std::max(eta, clear);
+    clear = arrival;
+    return arrival;
+  }
+
   void dispatch_boundary(std::size_t src, std::size_t dst,
                          const ode::BoundaryMessage& msg, bool to_left) {
     if (stopped_) return;
@@ -291,11 +308,12 @@ class SimEngine final : public algo::Transport,
     busy = true;
     const double sent = sim_.now();
     const double delay = grid_.message_delay(src, dst, msg.byte_size(), sent);
+    const double arrival = link_delivery_time(src, dst, sent + delay);
     ++result_data_messages_;
     result_bytes_ += msg.byte_size();
-    algo::emit_message(trace_, src, dst, sent, sent + delay, msg.byte_size(),
+    algo::emit_message(trace_, src, dst, sent, arrival, msg.byte_size(),
                        trace::MessageKind::kBoundaryData);
-    sim_.schedule_at(sent + delay, [this, src, dst, msg, to_left] {
+    sim_.schedule_at(arrival, [this, src, dst, msg, to_left] {
       deliver_boundary(src, dst, msg, to_left);
     });
   }
@@ -467,6 +485,10 @@ class SimEngine final : public algo::Transport,
   std::vector<Proc> procs_;
   std::vector<bool> lb_link_busy_;
   std::vector<std::optional<ode::MigrationPayload>> lb_link_inflight_;
+  /// Earliest time each directed neighbor link is free to deliver the
+  /// next data frame (see link_delivery_time): [link][0] rightward,
+  /// [link][1] leftward.
+  std::vector<std::array<double, 2>> link_clear_;
   // Departure times for the boundary messages of the iteration currently
   // being started (set immediately before ProcessorCore::emit_boundaries).
   double staged_left_depart_ = 0.0;

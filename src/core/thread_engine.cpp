@@ -218,6 +218,21 @@ class ThreadEngine final : public algo::Transport,
   /// would recurse through the drain loop on a self-posted token.
   bool node_idle(std::size_t) const override { return false; }
 
+  /// Coordinator verification, aligned with the other two backends: a
+  /// node whose migration mailbox is non-empty (or whose adjacent links
+  /// carry an in-flight payload) may not confirm — its convergence
+  /// mirror predates work it is already committed to absorbing. All
+  /// reads are lock-free mirrors; the block lock is never taken here.
+  bool confirm_converged(std::size_t rank) const override {
+    const ThreadProc& proc = procs_[rank];
+    if (!proc.locally_converged.load()) return false;
+    if (!proc.lb_from_left.empty() || !proc.lb_from_right.empty())
+      return false;
+    if (rank > 0 && lb_link_busy_[rank - 1].load()) return false;
+    if (rank + 1 < nprocs_ && lb_link_busy_[rank].load()) return false;
+    return true;
+  }
+
   /// Coordinator/token-ring halt (under detection_mutex_, caller holds no
   /// block lock). The protocol guaranteed persistent local convergence,
   /// not interface consistency; record what actually held over a
@@ -474,6 +489,11 @@ class ThreadEngine final : public algo::Transport,
   EngineResult assemble_result(double wall_seconds) {
     EngineResult result;
     result.converged = halt_.load() && !failed_.load();
+    if (failed_.load())
+      result.failure_reason = "iteration budget exhausted (" +
+                              std::to_string(
+                                  config_.max_iterations_per_processor) +
+                              " per processor)";
     result.execution_time = wall_seconds;
     // Drain any payload still sitting in a mailbox so the solution covers
     // every component (can only happen on a failure stop).

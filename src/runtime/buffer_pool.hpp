@@ -1,4 +1,4 @@
-// A free-list of row buffers for the threaded engine's message hot path.
+// A free-list of reusable buffers for the engines' message hot paths.
 //
 // Boundary messages carry `stencil * (num_steps + 1)` doubles every outer
 // iteration on every link. Allocating those rows per send (and freeing
@@ -8,38 +8,46 @@
 // free list with its capacity intact, and the fill-into packing variants
 // (WaveformBlock::boundary_for_*) reuse that capacity.
 //
+// The pool is generic over the element type: the threaded engine recycles
+// `double` row buffers (BufferPool), the socket backend recycles the byte
+// scratch buffers its per-peer send queues are encoded into (BytePool).
+//
 // Thread safety: a single mutex guards the free list. The critical section
 // is a vector swap — far cheaper than the malloc/free pair it replaces —
-// and the pool is shared by all worker threads of an engine.
+// and the pool is shared by all worker threads of an engine. (The socket
+// backend's workers are single-threaded processes; they pay one
+// uncontended lock per acquire, which keeps one implementation for both.)
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <mutex>
 #include <utility>
 #include <vector>
 
 namespace aiac::runtime {
 
-class BufferPool {
+template <typename T>
+class BasicBufferPool {
  public:
   /// `max_buffers` bounds the free list; releases beyond it deallocate
   /// (a migration burst must not pin its peak memory forever).
-  explicit BufferPool(std::size_t max_buffers = 64)
+  explicit BasicBufferPool(std::size_t max_buffers = 64)
       : max_buffers_(max_buffers) {}
 
-  BufferPool(const BufferPool&) = delete;
-  BufferPool& operator=(const BufferPool&) = delete;
+  BasicBufferPool(const BasicBufferPool&) = delete;
+  BasicBufferPool& operator=(const BasicBufferPool&) = delete;
 
   /// A buffer from the free list (capacity intact, size unspecified), or
   /// an empty vector when the list is dry — callers size it themselves.
-  std::vector<double> acquire() {
+  std::vector<T> acquire() {
     std::lock_guard<std::mutex> lock(mutex_);
     if (free_.empty()) {
       ++misses_;
       return {};
     }
     ++hits_;
-    std::vector<double> buffer = std::move(free_.back());
+    std::vector<T> buffer = std::move(free_.back());
     free_.pop_back();
     return buffer;
   }
@@ -47,7 +55,7 @@ class BufferPool {
   /// Returns a buffer to the free list. Empty vectors (e.g. rows moved
   /// out of a message) are dropped — pooling them would only recycle
   /// nullptrs.
-  void release(std::vector<double> buffer) {
+  void release(std::vector<T> buffer) {
     if (buffer.capacity() == 0) return;
     std::lock_guard<std::mutex> lock(mutex_);
     if (free_.size() >= max_buffers_) return;  // excess deallocates here
@@ -66,10 +74,15 @@ class BufferPool {
 
  private:
   mutable std::mutex mutex_;
-  std::vector<std::vector<double>> free_;
+  std::vector<std::vector<T>> free_;
   std::size_t max_buffers_;
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
 };
+
+/// Row buffers (trajectory data) — the threaded engine's pool.
+using BufferPool = BasicBufferPool<double>;
+/// Encoded-frame scratch buffers — the socket backend's pool.
+using BytePool = BasicBufferPool<std::uint8_t>;
 
 }  // namespace aiac::runtime

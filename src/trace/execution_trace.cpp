@@ -31,6 +31,24 @@ void ExecutionTrace::record_fault(FaultRecord record) {
   faults_.push_back(std::move(record));
 }
 
+void ExecutionTrace::merge(const ExecutionTrace& other) {
+  processors_ = std::max(processors_, other.processors_);
+  iterations_.insert(iterations_.end(), other.iterations_.begin(),
+                     other.iterations_.end());
+  messages_.insert(messages_.end(), other.messages_.begin(),
+                   other.messages_.end());
+  migrations_.insert(migrations_.end(), other.migrations_.begin(),
+                     other.migrations_.end());
+  faults_.insert(faults_.end(), other.faults_.begin(), other.faults_.end());
+  // Stable: faults of equal sequence (distinct injectors with independent
+  // counters) keep their per-trace order.
+  std::stable_sort(
+      faults_.begin(), faults_.end(),
+      [](const FaultRecord& a, const FaultRecord& b) {
+        return a.sequence < b.sequence;
+      });
+}
+
 double ExecutionTrace::span() const noexcept {
   double last = 0.0;
   for (const auto& it : iterations_) last = std::max(last, it.end);
@@ -82,6 +100,13 @@ void ExecutionTrace::write_messages_csv(std::ostream& out) const {
   for (const auto& m : messages_)
     out << m.src << ',' << m.dst << ',' << m.send_time << ','
         << m.receive_time << ',' << m.bytes << ',' << to_string(m.kind)
+        << '\n';
+}
+
+void ExecutionTrace::write_migrations_csv(std::ostream& out) const {
+  out << "src,dst,time,components\n";
+  for (const auto& m : migrations_)
+    out << m.src << ',' << m.dst << ',' << m.time << ',' << m.components
         << '\n';
 }
 

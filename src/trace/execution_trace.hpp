@@ -59,6 +59,15 @@ class ExecutionTrace {
   void record_fault(FaultRecord record);
   void set_processor_count(std::size_t count) { processors_ = count; }
 
+  /// Folds `other`'s records into this trace: the aggregation step of the
+  /// multi-process backend, where every rank records its own trace and the
+  /// launcher combines them. processor_count stays the max over both
+  /// traces; faults are re-ordered by their global `sequence` stamp so the
+  /// merged fault log reads in injection order regardless of which
+  /// per-rank trace each event came from. Iteration/message/migration
+  /// records are appended (no writer requires a global order for those).
+  void merge(const ExecutionTrace& other);
+
   std::size_t processor_count() const noexcept { return processors_; }
   const std::vector<IterationRecord>& iterations() const noexcept {
     return iterations_;
@@ -87,6 +96,8 @@ class ExecutionTrace {
   void write_iterations_csv(std::ostream& out) const;
   /// Writes "src,dst,send,recv,bytes,kind" rows.
   void write_messages_csv(std::ostream& out) const;
+  /// Writes "src,dst,time,components" rows.
+  void write_migrations_csv(std::ostream& out) const;
   /// Writes "sequence,source,time,kind,magnitude" rows.
   void write_faults_csv(std::ostream& out) const;
   /// ASCII Gantt chart: one line per processor, `width` characters across

@@ -150,12 +150,17 @@ std::unique_ptr<grid::Grid> cluster_with_one_small_node(
 TEST(MemoryPressure, LoadBalancingRescuesAnOvercommittedNode) {
   // One tiny-memory machine in the chain: the even partition pushes it
   // into paging (24 components vs capacity 15); shedding components
-  // restores its speed, so balancing must win clearly.
+  // restores its speed, so balancing must win clearly. The balancer runs
+  // at a measured cadence: piggybacked load estimates lag by a message
+  // hop, and a twitchy trigger (period 2, ratio 1.5) reacts to that lag
+  // by sloshing components back into the paging node as fast as it sheds
+  // them — the run still wins on time, but the final distribution samples
+  // churn instead of demonstrating the rescue.
   const auto system = small_system(48);
   auto config = base_config();
   config.scheme = core::Scheme::kAIAC;
-  config.balancer.trigger_period = 2;
-  config.balancer.threshold_ratio = 1.5;
+  config.balancer.trigger_period = 8;
+  config.balancer.threshold_ratio = 2.0;
   config.balancer.min_components = 3;
 
   auto g_plain = cluster_with_one_small_node(4, 15.0);

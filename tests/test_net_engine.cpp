@@ -1,0 +1,181 @@
+// Socket-backend engine tests: scope guards, the oracle->coordinator
+// detection mapping, trace aggregation across worker processes, and the
+// fault path — killing a worker mid-run must produce a clean, attributed
+// failure within a bounded time, never a hang.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/config.hpp"
+#include "net/net_engine.hpp"
+#include "ode/brusselator.hpp"
+#include "trace/execution_trace.hpp"
+
+namespace {
+
+using namespace aiac;
+using core::DetectionMode;
+using core::EngineConfig;
+
+ode::Brusselator small_system() {
+  ode::Brusselator::Params params;
+  params.grid_points = 24;
+  return ode::Brusselator(params);
+}
+
+EngineConfig small_config() {
+  EngineConfig config;
+  config.scheme = core::Scheme::kAIAC;
+  config.num_steps = 30;
+  config.t_end = 0.8;
+  config.tolerance = 1e-8;
+  config.balancer.trigger_period = 3;
+  config.balancer.threshold_ratio = 1.5;
+  config.balancer.min_components = 3;
+  config.max_iterations_per_processor = 200000;
+  config.detection = DetectionMode::kCoordinator;
+  return config;
+}
+
+// ---- Scope guards ------------------------------------------------------
+
+TEST(NetEngineScope, RejectsSynchronousSchemes) {
+  const auto system = small_system();
+  auto config = small_config();
+  config.scheme = core::Scheme::kSISC;
+  EXPECT_THROW(net::run_net(system, 2, config), std::invalid_argument);
+  config.scheme = core::Scheme::kSIAC;
+  EXPECT_THROW(net::run_net(system, 2, config), std::invalid_argument);
+}
+
+TEST(NetEngineScope, RejectsChaosLayerAndZeroProcessors) {
+  const auto system = small_system();
+  auto config = small_config();
+  config.faults.enabled = true;
+  EXPECT_THROW(net::run_net(system, 2, config), std::invalid_argument);
+  config.faults.enabled = false;
+  EXPECT_THROW(net::run_net(system, 0, config), std::invalid_argument);
+}
+
+TEST(NetEngineScope, OracleMapsToCoordinator) {
+  // No process of a distributed deployment holds a global view, so the
+  // driver-side oracle probe maps to the coordinator protocol instead of
+  // throwing; the run still converges and reports the detection audit the
+  // coordinator provides (residual yes, cross-process gap no).
+  const auto system = small_system();
+  auto config = small_config();
+  config.detection = DetectionMode::kOracle;
+  const auto result = net::run_net(system, 2, config);
+  ASSERT_TRUE(result.converged) << result.failure_reason;
+  EXPECT_EQ(result.detection_gap, -1.0);
+  EXPECT_GE(result.detection_max_residual, 0.0);
+  EXPECT_LE(result.detection_max_residual, config.tolerance);
+}
+
+// ---- Single-rank degenerate fleet -------------------------------------
+
+TEST(NetEngine, SingleRankConverges) {
+  const auto system = small_system();
+  const auto result = net::run_net(system, 1, small_config());
+  ASSERT_TRUE(result.converged) << result.failure_reason;
+  ASSERT_EQ(result.final_components.size(), 1u);
+  EXPECT_EQ(result.final_components[0], system.dimension());
+  EXPECT_EQ(result.data_messages, 0u);  // nobody to talk to
+}
+
+// ---- Trace aggregation -------------------------------------------------
+
+TEST(NetEngineTrace, AggregatesPerRankRecords) {
+  const auto system = small_system();
+  auto config = small_config();
+  config.load_balancing = true;
+
+  trace::ExecutionTrace trace;
+  const auto result = net::run_net(system, 3, config, {}, &trace);
+  ASSERT_TRUE(result.converged) << result.failure_reason;
+
+  EXPECT_EQ(trace.processor_count(), 3u);
+  // Every rank shipped its iteration records through its result pipe.
+  for (std::size_t rank = 0; rank < 3; ++rank)
+    EXPECT_GT(trace.iteration_count(rank), 0u) << "rank " << rank;
+  const std::size_t recorded = trace.iterations().size();
+  EXPECT_EQ(recorded, result.total_iterations);
+  // Messages were recorded by their senders (boundary + any LB traffic).
+  EXPECT_GT(trace.messages().size(), 0u);
+  // The migration log agrees with the aggregate counters.
+  EXPECT_EQ(trace.migrations().size(), result.migrations);
+  std::size_t moved = 0;
+  for (const auto& migration : trace.migrations())
+    moved += migration.components;
+  EXPECT_EQ(moved, result.components_migrated);
+}
+
+// ---- The fault path ----------------------------------------------------
+
+TEST(NetEngineFault, KilledWorkerIsACleanFailureNotAHang) {
+  // SIGKILL rank 1 shortly into a run that would otherwise take much
+  // longer than the kill delay (~0.5 s of natural runtime at this size,
+  // ~10x the kill timer). The survivors must observe the death as
+  // EOF-without-goodbye and wind down; the whole run must come back well
+  // before the engine's deadline, reporting an attributed failure.
+  ode::Brusselator::Params params;
+  params.grid_points = 192;
+  const ode::Brusselator system(params);
+  auto config = small_config();
+  config.num_steps = 240;
+  config.tolerance = 1e-13;
+  config.load_balancing = true;
+
+  net::NetConfig net_config;
+  net_config.deadline_seconds = 60.0;
+  net_config.kill_rank = 1;
+  net_config.kill_after_seconds = 0.05;
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto result = net::run_net(system, 3, config, net_config);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  EXPECT_FALSE(result.converged);
+  EXPECT_FALSE(result.failure_reason.empty());
+  // Clean and bounded: the failure surfaced through the peer-down /
+  // killed-worker path long before the 60 s engine deadline.
+  EXPECT_LT(elapsed, 30.0) << "killed worker wedged the fleet";
+}
+
+TEST(NetEngineFault, ExhaustedIterationBudgetIsReported) {
+  // A budget far below what waveform contraction needs (this problem
+  // takes ~150 iterations per rank to reach even a bitwise fixed point,
+  // let alone to detect it): the run must fail with the exhausted
+  // worker's own account, not a peer's echo of it.
+  const auto system = small_system();
+  auto config = small_config();
+  config.tolerance = 1e-15;
+  config.max_iterations_per_processor = 40;
+
+  const auto result = net::run_net(system, 2, config);
+  EXPECT_FALSE(result.converged);
+  EXPECT_NE(result.failure_reason.find("budget"), std::string::npos)
+      << result.failure_reason;
+}
+
+// ---- Conservation under load balancing --------------------------------
+
+TEST(NetEngine, ComponentsConservedAcrossMigrations) {
+  const auto system = small_system();
+  auto config = small_config();
+  config.load_balancing = true;
+
+  const auto result = net::run_net(system, 4, config);
+  ASSERT_TRUE(result.converged) << result.failure_reason;
+  const std::size_t total = std::accumulate(
+      result.final_components.begin(), result.final_components.end(),
+      std::size_t{0});
+  EXPECT_EQ(total, system.dimension());
+  EXPECT_GE(result.min_components_observed, 3u);  // famine guard held
+}
+
+}  // namespace

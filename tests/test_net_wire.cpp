@@ -1,0 +1,581 @@
+// Wire-format tests for the socket backend (src/net/wire.hpp): golden
+// byte vectors pinning the layout, 1000-seed round-trip fuzz with bitwise
+// equality, and rejection of truncated/corrupted/oversized frames —
+// always by status code, never by crashing.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <random>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/wire.hpp"
+
+namespace {
+
+using namespace aiac;
+using namespace aiac::net;
+
+// ---- Helpers ----------------------------------------------------------
+
+/// Bitwise double equality (NaN-safe; the wire promises bit patterns).
+bool same_bits(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+bool same_bits(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (!same_bits(a[i], b[i])) return false;
+  return true;
+}
+
+/// Random double over the full bit space: denormals, infinities and NaNs
+/// included — the wire must carry all of them bit-exactly.
+double random_double(std::mt19937_64& rng) {
+  return std::bit_cast<double>(rng());
+}
+
+std::vector<double> random_rows(std::mt19937_64& rng, std::size_t count) {
+  std::vector<double> rows(count);
+  for (double& v : rows) v = random_double(rng);
+  return rows;
+}
+
+/// Extracts the single frame a fresh encode produced, asserting success.
+FrameView must_extract(const std::vector<std::uint8_t>& bytes) {
+  FrameView view;
+  EXPECT_EQ(try_extract_frame(bytes, view), DecodeStatus::kOk);
+  EXPECT_EQ(view.frame_bytes, bytes.size());
+  return view;
+}
+
+// ---- CRC-32 ------------------------------------------------------------
+
+TEST(NetWireCrc, CanonicalCheckValue) {
+  // The IEEE 802.3 reflected CRC-32 check value: crc32("123456789").
+  const std::string data = "123456789";
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(data.data());
+  EXPECT_EQ(crc32({bytes, data.size()}), 0xCBF43926u);
+  EXPECT_EQ(crc32({}), 0u);
+}
+
+TEST(NetWireCrc, MatchesBitwiseReference) {
+  // Independent table-free implementation; pins the library's table.
+  std::mt19937_64 rng(7);
+  std::vector<std::uint8_t> data(253);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng());
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::uint8_t byte : data) {
+    crc ^= byte;
+    for (int k = 0; k < 8; ++k)
+      crc = (crc >> 1) ^ (0xEDB88320u & (0u - (crc & 1u)));
+  }
+  EXPECT_EQ(crc32(data), crc ^ 0xFFFFFFFFu);
+}
+
+// ---- Golden byte vectors ----------------------------------------------
+
+TEST(NetWireGolden, EmptyFrameLayout) {
+  std::vector<std::uint8_t> bytes;
+  encode_empty(FrameType::kMigAck, bytes);
+  const std::vector<std::uint8_t> expected = {
+      0x41, 0x49, 0x41, 0x43,  // magic "AIAC" as u32 LE 0x43414941
+      0x01, 0x00,              // version 1
+      0x05, 0x00,              // FrameType::kMigAck
+      0x00, 0x00, 0x00, 0x00,  // payload length 0
+      0x44, 0x4E, 0x45, 0xF9,  // CRC-32 of version+type+length (LE)
+  };
+  EXPECT_EQ(bytes, expected);
+}
+
+TEST(NetWireGolden, HelloLayout) {
+  std::vector<std::uint8_t> bytes;
+  encode_hello({/*rank=*/3, /*processors=*/8}, bytes);
+  ASSERT_EQ(bytes.size(), kFrameHeaderBytes + 16);
+  const std::vector<std::uint8_t> payload = {
+      0x03, 0, 0, 0, 0, 0, 0, 0,  // rank u64 LE
+      0x08, 0, 0, 0, 0, 0, 0, 0,  // processors u64 LE
+  };
+  EXPECT_TRUE(std::equal(payload.begin(), payload.end(),
+                         bytes.begin() + kFrameHeaderBytes));
+  EXPECT_EQ(bytes[6], 0x01);  // FrameType::kHello
+  EXPECT_EQ(bytes[8], 16);    // payload length
+  // CRC field (algorithm pinned above) covers version+type+length+payload.
+  std::uint32_t stored = 0;
+  std::memcpy(&stored, bytes.data() + 12, 4);
+  EXPECT_EQ(stored, crc32_update(crc32_update(0, {bytes.data() + 4, 8}),
+                                 payload));
+}
+
+TEST(NetWireGolden, BoundaryLayout) {
+  // Pins field order and widths: 5 x u64, 2 x f64, then the rows.
+  ode::BoundaryMessage msg;
+  msg.global_first = 0x0102030405060708u;
+  msg.row_count = 1;
+  msg.points = 2;
+  msg.sender_iteration = 7;
+  msg.sender_components = 9;
+  msg.sender_residual = 1.0;
+  msg.sender_load = -2.0;
+  msg.rows = {0.5, 2.0};
+  std::vector<std::uint8_t> bytes;
+  encode_boundary(msg, bytes);
+  ASSERT_EQ(bytes.size(), kFrameHeaderBytes + 5 * 8 + 2 * 8 + 2 * 8);
+  const std::uint8_t* p = bytes.data() + kFrameHeaderBytes;
+  const std::vector<std::uint8_t> head = {
+      0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01,  // global_first LE
+      0x01, 0, 0, 0, 0, 0, 0, 0,                       // row_count
+      0x02, 0, 0, 0, 0, 0, 0, 0,                       // points
+      0x07, 0, 0, 0, 0, 0, 0, 0,                       // sender_iteration
+      0x09, 0, 0, 0, 0, 0, 0, 0,                       // sender_components
+      0, 0, 0, 0, 0, 0, 0xF0, 0x3F,                    // 1.0 IEEE-754 LE
+      0, 0, 0, 0, 0, 0, 0x00, 0xC0,                    // -2.0
+      0, 0, 0, 0, 0, 0, 0xE0, 0x3F,                    // 0.5
+      0, 0, 0, 0, 0, 0, 0x00, 0x40,                    // 2.0
+  };
+  EXPECT_TRUE(std::equal(head.begin(), head.end(), p));
+}
+
+TEST(NetWireGolden, ControlLayout) {
+  algo::ControlFrame frame;
+  frame.kind = algo::ControlFrame::Kind::kToken;
+  frame.sender = 2;
+  frame.epoch = 3;
+  frame.count = 4;
+  frame.flag = true;
+  std::vector<std::uint8_t> bytes;
+  encode_control(frame, bytes);
+  const std::vector<std::uint8_t> payload = {
+      0x04,                       // Kind::kToken
+      0x02, 0, 0, 0, 0, 0, 0, 0,  // sender
+      0x03, 0, 0, 0, 0, 0, 0, 0,  // epoch
+      0x04, 0, 0, 0, 0, 0, 0, 0,  // count
+      0x01,                       // flag
+  };
+  ASSERT_EQ(bytes.size(), kFrameHeaderBytes + payload.size());
+  EXPECT_TRUE(std::equal(payload.begin(), payload.end(),
+                         bytes.begin() + kFrameHeaderBytes));
+}
+
+// ---- Round-trip fuzz ---------------------------------------------------
+
+ode::BoundaryMessage random_boundary(std::mt19937_64& rng) {
+  ode::BoundaryMessage msg;
+  msg.global_first = rng() % 1000;
+  msg.row_count = rng() % 4;
+  msg.points = msg.row_count == 0 ? 0 : 1 + rng() % 33;
+  msg.sender_residual = random_double(rng);
+  msg.sender_load = random_double(rng);
+  msg.sender_iteration = rng() % 100000;
+  msg.sender_components = rng() % 1000;
+  msg.rows = random_rows(rng, msg.row_count * msg.points);
+  return msg;
+}
+
+ode::MigrationPayload random_migration(std::mt19937_64& rng) {
+  ode::MigrationPayload payload;
+  payload.direction = rng() % 2 == 0
+                          ? ode::MigrationPayload::Direction::kToLeft
+                          : ode::MigrationPayload::Direction::kToRight;
+  payload.row_first = rng() % 1000;
+  payload.owned_count = 1 + rng() % 5;
+  payload.stencil = rng() % 2;
+  payload.points = 1 + rng() % 17;
+  payload.rows = random_rows(rng, payload.row_count() * payload.points);
+  return payload;
+}
+
+algo::ControlFrame random_control(std::mt19937_64& rng) {
+  algo::ControlFrame frame;
+  frame.kind = static_cast<algo::ControlFrame::Kind>(rng() % 6);
+  frame.sender = rng() % 64;
+  frame.epoch = rng() % 100000;
+  frame.count = rng() % 100000;
+  frame.flag = rng() % 2 == 0;
+  return frame;
+}
+
+WorkerResult random_worker_result(std::mt19937_64& rng) {
+  WorkerResult result;
+  result.rank = rng() % 64;
+  result.converged = rng() % 2 == 0;
+  if (rng() % 3 == 0)
+    result.failure_reason =
+        "reason-" + std::to_string(rng() % 1000) + " \xF0\x9F\x92\xA5";
+  result.iterations = rng() % 100000;
+  result.first = rng() % 1000;
+  result.count = rng() % 8;
+  result.points = result.count == 0 ? 0 : 1 + rng() % 9;
+  result.last_residual = random_double(rng);
+  result.total_work = random_double(rng);
+  result.data_messages = rng() % 100000;
+  result.control_messages = rng() % 100000;
+  result.bytes_sent = rng() % 100000000;
+  result.migrations_out = rng() % 100;
+  result.components_out = rng() % 1000;
+  result.min_components_seen = rng() % 100;
+  result.detection_max_residual = random_double(rng);
+  result.max_pending_disturbance = random_double(rng);
+  result.rows = random_rows(rng, result.count * result.points);
+  return result;
+}
+
+TEST(NetWireFuzz, RoundTrip1000Seeds) {
+  for (std::uint64_t seed = 0; seed < 1000; ++seed) {
+    std::mt19937_64 rng(seed);
+    std::vector<std::uint8_t> bytes;
+
+    const ode::BoundaryMessage boundary = random_boundary(rng);
+    bytes.clear();
+    encode_boundary(boundary, bytes);
+    FrameView view = must_extract(bytes);
+    ASSERT_EQ(view.header.type, FrameType::kBoundary);
+    ode::BoundaryMessage boundary2;
+    ASSERT_TRUE(decode_boundary(view.payload, boundary2)) << "seed " << seed;
+    EXPECT_EQ(boundary2.global_first, boundary.global_first);
+    EXPECT_EQ(boundary2.row_count, boundary.row_count);
+    EXPECT_EQ(boundary2.points, boundary.points);
+    EXPECT_EQ(boundary2.sender_iteration, boundary.sender_iteration);
+    EXPECT_EQ(boundary2.sender_components, boundary.sender_components);
+    EXPECT_TRUE(same_bits(boundary2.sender_residual,
+                          boundary.sender_residual));
+    EXPECT_TRUE(same_bits(boundary2.sender_load, boundary.sender_load));
+    EXPECT_TRUE(same_bits(boundary2.rows, boundary.rows)) << "seed " << seed;
+
+    const ode::MigrationPayload migration = random_migration(rng);
+    bytes.clear();
+    encode_migration(migration, bytes);
+    view = must_extract(bytes);
+    ode::MigrationPayload migration2;
+    ASSERT_TRUE(decode_migration(view.payload, migration2)) << "seed " << seed;
+    EXPECT_EQ(migration2.direction, migration.direction);
+    EXPECT_EQ(migration2.row_first, migration.row_first);
+    EXPECT_EQ(migration2.owned_count, migration.owned_count);
+    EXPECT_EQ(migration2.stencil, migration.stencil);
+    EXPECT_EQ(migration2.points, migration.points);
+    EXPECT_TRUE(same_bits(migration2.rows, migration.rows)) << "seed " << seed;
+
+    const algo::ControlFrame control = random_control(rng);
+    bytes.clear();
+    encode_control(control, bytes);
+    view = must_extract(bytes);
+    algo::ControlFrame control2;
+    ASSERT_TRUE(decode_control(view.payload, control2)) << "seed " << seed;
+    EXPECT_EQ(control2.kind, control.kind);
+    EXPECT_EQ(control2.sender, control.sender);
+    EXPECT_EQ(control2.epoch, control.epoch);
+    EXPECT_EQ(control2.count, control.count);
+    EXPECT_EQ(control2.flag, control.flag);
+
+    const WorkerResult result = random_worker_result(rng);
+    bytes.clear();
+    encode_worker_result(result, bytes);
+    view = must_extract(bytes);
+    WorkerResult result2;
+    ASSERT_TRUE(decode_worker_result(view.payload, result2))
+        << "seed " << seed;
+    EXPECT_EQ(result2.rank, result.rank);
+    EXPECT_EQ(result2.converged, result.converged);
+    EXPECT_EQ(result2.failure_reason, result.failure_reason);
+    EXPECT_EQ(result2.iterations, result.iterations);
+    EXPECT_EQ(result2.first, result.first);
+    EXPECT_EQ(result2.count, result.count);
+    EXPECT_EQ(result2.points, result.points);
+    EXPECT_TRUE(same_bits(result2.last_residual, result.last_residual));
+    EXPECT_TRUE(same_bits(result2.total_work, result.total_work));
+    EXPECT_EQ(result2.bytes_sent, result.bytes_sent);
+    EXPECT_EQ(result2.min_components_seen, result.min_components_seen);
+    EXPECT_TRUE(same_bits(result2.rows, result.rows)) << "seed " << seed;
+
+    const Hello hello{1 + rng() % 63, 64};
+    bytes.clear();
+    encode_hello(hello, bytes);
+    view = must_extract(bytes);
+    Hello hello2;
+    ASSERT_TRUE(decode_hello(view.payload, hello2));
+    EXPECT_EQ(hello2.rank, hello.rank);
+    EXPECT_EQ(hello2.processors, hello.processors);
+
+    bool goodbye_failed = rng() % 2 == 0;
+    bytes.clear();
+    encode_goodbye(goodbye_failed, bytes);
+    view = must_extract(bytes);
+    bool goodbye_failed2 = !goodbye_failed;
+    ASSERT_TRUE(decode_goodbye(view.payload, goodbye_failed2));
+    EXPECT_EQ(goodbye_failed2, goodbye_failed);
+  }
+}
+
+TEST(NetWireFuzz, TraceRecordRoundTrip) {
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    std::mt19937_64 rng(seed * 977 + 5);
+    std::vector<trace::IterationRecord> iterations(rng() % 20);
+    double t = 0.0;
+    std::size_t index = 0;
+    for (auto& record : iterations) {
+      record.rank = rng() % 8;
+      record.iteration = ++index;
+      record.start = t;
+      record.end = t += 0.25;
+      record.work = static_cast<double>(rng() % 1000);
+      record.residual = random_double(rng);
+      record.components = rng() % 100;
+    }
+    std::vector<std::uint8_t> bytes;
+    encode_trace_iterations(iterations, bytes);
+    FrameView view = must_extract(bytes);
+    ASSERT_EQ(view.header.type, FrameType::kTraceIterations);
+    std::vector<trace::IterationRecord> iterations2;
+    ASSERT_TRUE(decode_trace_iterations(view.payload, iterations2));
+    ASSERT_EQ(iterations2.size(), iterations.size());
+    for (std::size_t i = 0; i < iterations.size(); ++i) {
+      EXPECT_EQ(iterations2[i].rank, iterations[i].rank);
+      EXPECT_EQ(iterations2[i].iteration, iterations[i].iteration);
+      EXPECT_TRUE(same_bits(iterations2[i].start, iterations[i].start));
+      EXPECT_TRUE(same_bits(iterations2[i].residual,
+                            iterations[i].residual));
+      EXPECT_EQ(iterations2[i].components, iterations[i].components);
+    }
+
+    std::vector<trace::MessageRecord> messages(rng() % 20);
+    for (auto& record : messages) {
+      record.src = rng() % 8;
+      record.dst = rng() % 8;
+      record.send_time = t;
+      record.receive_time = t + 0.125;
+      record.bytes = rng() % 100000;
+      record.kind = static_cast<trace::MessageKind>(rng() % 3);
+    }
+    bytes.clear();
+    encode_trace_messages(messages, bytes);
+    view = must_extract(bytes);
+    std::vector<trace::MessageRecord> messages2;
+    ASSERT_TRUE(decode_trace_messages(view.payload, messages2));
+    ASSERT_EQ(messages2.size(), messages.size());
+    for (std::size_t i = 0; i < messages.size(); ++i) {
+      EXPECT_EQ(messages2[i].src, messages[i].src);
+      EXPECT_EQ(messages2[i].bytes, messages[i].bytes);
+      EXPECT_EQ(messages2[i].kind, messages[i].kind);
+    }
+
+    std::vector<trace::MigrationRecord> migrations(rng() % 20);
+    for (auto& record : migrations) {
+      record.src = rng() % 8;
+      record.dst = rng() % 8;
+      record.time = t;
+      record.components = rng() % 100;
+    }
+    bytes.clear();
+    encode_trace_migrations(migrations, bytes);
+    view = must_extract(bytes);
+    std::vector<trace::MigrationRecord> migrations2;
+    ASSERT_TRUE(decode_trace_migrations(view.payload, migrations2));
+    ASSERT_EQ(migrations2.size(), migrations.size());
+    for (std::size_t i = 0; i < migrations.size(); ++i) {
+      EXPECT_EQ(migrations2[i].src, migrations[i].src);
+      EXPECT_EQ(migrations2[i].dst, migrations[i].dst);
+      EXPECT_EQ(migrations2[i].components, migrations[i].components);
+    }
+  }
+}
+
+// ---- Rejection paths ---------------------------------------------------
+
+std::vector<std::uint8_t> sample_frame() {
+  std::mt19937_64 rng(42);
+  std::vector<std::uint8_t> bytes;
+  encode_boundary(random_boundary(rng), bytes);
+  return bytes;
+}
+
+TEST(NetWireReject, EveryTruncationNeedsMore) {
+  const std::vector<std::uint8_t> frame = sample_frame();
+  for (std::size_t len = 0; len < frame.size(); ++len) {
+    FrameView view;
+    const std::span<const std::uint8_t> prefix(frame.data(), len);
+    EXPECT_EQ(try_extract_frame(prefix, view), DecodeStatus::kNeedMore)
+        << "prefix length " << len;
+  }
+}
+
+TEST(NetWireReject, EveryByteFlipIsRejected) {
+  // Flipping any single byte must yield kBad (header corruption or CRC
+  // mismatch) — or, for length-field bytes, at worst kNeedMore. A frame
+  // must never decode differently and silently pass.
+  const std::vector<std::uint8_t> frame = sample_frame();
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    for (std::uint8_t flip : {std::uint8_t{0x01}, std::uint8_t{0x80}}) {
+      std::vector<std::uint8_t> corrupt = frame;
+      corrupt[i] ^= flip;
+      FrameView view;
+      const DecodeStatus status = try_extract_frame(corrupt, view);
+      EXPECT_NE(status, DecodeStatus::kOk) << "byte " << i;
+    }
+  }
+}
+
+TEST(NetWireReject, RandomCorruptionNeverCrashes) {
+  // 1000 seeds of random mutilation: any status is fine, crashing is not,
+  // and whenever extraction still succeeds the decoder must stay sane.
+  const std::vector<std::uint8_t> frame = sample_frame();
+  for (std::uint64_t seed = 0; seed < 1000; ++seed) {
+    std::mt19937_64 rng(seed);
+    std::vector<std::uint8_t> corrupt = frame;
+    const std::size_t edits = 1 + rng() % 8;
+    for (std::size_t e = 0; e < edits; ++e)
+      corrupt[rng() % corrupt.size()] =
+          static_cast<std::uint8_t>(rng());
+    if (rng() % 4 == 0)
+      corrupt.resize(rng() % (corrupt.size() + 1));
+    FrameView view;
+    if (try_extract_frame(corrupt, view) == DecodeStatus::kOk &&
+        view.header.type == FrameType::kBoundary) {
+      ode::BoundaryMessage msg;
+      (void)decode_boundary(view.payload, msg);  // must not crash
+    }
+  }
+}
+
+TEST(NetWireReject, BadMagicVersionType) {
+  std::vector<std::uint8_t> frame = sample_frame();
+  FrameView view;
+
+  std::vector<std::uint8_t> bad = frame;
+  bad[0] = 0x00;  // magic
+  EXPECT_EQ(try_extract_frame(bad, view), DecodeStatus::kBad);
+
+  bad = frame;
+  bad[4] = 0x02;  // version 2
+  EXPECT_EQ(try_extract_frame(bad, view), DecodeStatus::kBad);
+
+  bad = frame;
+  bad[6] = 0x00;  // type 0: unknown
+  EXPECT_EQ(try_extract_frame(bad, view), DecodeStatus::kBad);
+  bad[6] = 0x63;  // type 99: unknown
+  EXPECT_EQ(try_extract_frame(bad, view), DecodeStatus::kBad);
+}
+
+TEST(NetWireReject, OversizedLengthIsBadNotAnAllocation) {
+  // A length field beyond the 64 MiB cap must be rejected from the header
+  // alone — the receiver never buffers toward an attacker-sized frame.
+  std::vector<std::uint8_t> frame = sample_frame();
+  const std::uint32_t huge = (64u << 20) + 1;
+  std::memcpy(frame.data() + 8, &huge, 4);
+  FrameView view;
+  EXPECT_EQ(try_extract_frame(frame, view), DecodeStatus::kBad);
+}
+
+TEST(NetWireReject, InternalSizeDisagreement) {
+  // A CRC-valid frame whose payload lies about its own shape: row_count
+  // says 2 rows but only 1 row of doubles follows.
+  ode::BoundaryMessage msg;
+  msg.global_first = 0;
+  msg.row_count = 2;
+  msg.points = 4;
+  msg.rows.assign(4, 1.0);  // half the promised data
+  std::vector<std::uint8_t> bytes;
+  encode_boundary(msg, bytes);
+  FrameView view;
+  ASSERT_EQ(try_extract_frame(bytes, view), DecodeStatus::kOk);
+  ode::BoundaryMessage out;
+  EXPECT_FALSE(decode_boundary(view.payload, out));
+
+  // Same for a migration whose row accounting is inconsistent.
+  ode::MigrationPayload payload;
+  payload.owned_count = 3;
+  payload.stencil = 1;
+  payload.points = 2;
+  payload.rows.assign(2, 0.5);  // 1 row instead of 4
+  bytes.clear();
+  encode_migration(payload, bytes);
+  ASSERT_EQ(try_extract_frame(bytes, view), DecodeStatus::kOk);
+  ode::MigrationPayload out2;
+  EXPECT_FALSE(decode_migration(view.payload, out2));
+}
+
+TEST(NetWireReject, TrailingGarbageInPayload) {
+  // A control frame with extra payload bytes: every decoder demands full
+  // consumption, so padding a valid body is rejected too.
+  algo::ControlFrame frame;
+  std::vector<std::uint8_t> bytes;
+  const std::size_t start = begin_frame(bytes, FrameType::kControl);
+  WireWriter w(bytes);
+  w.u8(0);
+  w.size(1);
+  w.size(2);
+  w.size(3);
+  w.u8(1);
+  w.u8(0xEE);  // trailing garbage
+  end_frame(bytes, start);
+  FrameView view;
+  ASSERT_EQ(try_extract_frame(bytes, view), DecodeStatus::kOk);
+  EXPECT_FALSE(decode_control(view.payload, frame));
+}
+
+TEST(NetWireReject, UnknownEnumValues) {
+  // Control frame with kind byte 17 (no such ControlFrame::Kind).
+  std::vector<std::uint8_t> bytes;
+  const std::size_t start = begin_frame(bytes, FrameType::kControl);
+  WireWriter w(bytes);
+  w.u8(17);
+  w.size(0);
+  w.size(0);
+  w.size(0);
+  w.u8(0);
+  end_frame(bytes, start);
+  FrameView view;
+  ASSERT_EQ(try_extract_frame(bytes, view), DecodeStatus::kOk);
+  algo::ControlFrame frame;
+  EXPECT_FALSE(decode_control(view.payload, frame));
+
+  // Migration direction byte 2 (only 0/1 defined).
+  bytes.clear();
+  const std::size_t mig = begin_frame(bytes, FrameType::kMigration);
+  WireWriter w2(bytes);
+  w2.u8(2);
+  w2.size(0);
+  w2.size(1);
+  w2.size(0);
+  w2.size(1);
+  w2.f64(1.0);
+  end_frame(bytes, mig);
+  ASSERT_EQ(try_extract_frame(bytes, view), DecodeStatus::kOk);
+  ode::MigrationPayload payload;
+  EXPECT_FALSE(decode_migration(view.payload, payload));
+}
+
+TEST(NetWireStream, BackToBackFramesExtractInOrder) {
+  // The receive path accumulates a byte stream; frames must peel off the
+  // front one at a time, including when a partial frame trails.
+  std::mt19937_64 rng(3);
+  std::vector<std::uint8_t> stream;
+  encode_hello({0, 2}, stream);
+  std::vector<std::uint8_t> one;
+  encode_boundary(random_boundary(rng), one);
+  stream.insert(stream.end(), one.begin(), one.end());
+  one.clear();
+  encode_empty(FrameType::kTokenGrant, one);
+  stream.insert(stream.end(), one.begin(), one.end());
+  stream.push_back(0x41);  // first byte of a next frame
+
+  FrameView view;
+  ASSERT_EQ(try_extract_frame(stream, view), DecodeStatus::kOk);
+  EXPECT_EQ(view.header.type, FrameType::kHello);
+  stream.erase(stream.begin(),
+               stream.begin() + static_cast<std::ptrdiff_t>(view.frame_bytes));
+  ASSERT_EQ(try_extract_frame(stream, view), DecodeStatus::kOk);
+  EXPECT_EQ(view.header.type, FrameType::kBoundary);
+  stream.erase(stream.begin(),
+               stream.begin() + static_cast<std::ptrdiff_t>(view.frame_bytes));
+  ASSERT_EQ(try_extract_frame(stream, view), DecodeStatus::kOk);
+  EXPECT_EQ(view.header.type, FrameType::kTokenGrant);
+  stream.erase(stream.begin(),
+               stream.begin() + static_cast<std::ptrdiff_t>(view.frame_bytes));
+  EXPECT_EQ(try_extract_frame(stream, view), DecodeStatus::kNeedMore);
+}
+
+}  // namespace

@@ -83,6 +83,64 @@ TEST(ExecutionTraceTest, AsciiGanttShowsBusyAndIdle) {
   EXPECT_NE(gantt.find('.'), std::string::npos);  // P0 has an idle gap
 }
 
+TEST(ExecutionTraceTest, MigrationsCsv) {
+  ExecutionTrace t;
+  t.record_migration({1, 0, 2.5, 5});
+  t.record_migration({0, 1, 3.0, 2});
+  std::ostringstream out;
+  t.write_migrations_csv(out);
+  EXPECT_NE(out.str().find("src,dst,time,components"), std::string::npos);
+  EXPECT_NE(out.str().find("1,0,2.5,5"), std::string::npos);
+  EXPECT_NE(out.str().find("0,1,3,2"), std::string::npos);
+}
+
+TEST(ExecutionTraceTest, MergeCombinesPerRankTraces) {
+  // The multi-process backend's aggregation step: every rank records its
+  // own trace and the launcher folds them into one.
+  ExecutionTrace rank0;
+  rank0.record_iteration({0, 1, 0.0, 1.0, 5.0, 0.5, 12});
+  rank0.record_message({0, 1, 0.5, 0.5, 64, MessageKind::kBoundaryData});
+  rank0.record_fault({0, 1.0, "delivery-delay", 3.0, /*sequence=*/2});
+
+  ExecutionTrace rank1;
+  rank1.record_iteration({1, 1, 0.0, 2.0, 8.0, 0.4, 12});
+  rank1.record_iteration({1, 2, 2.0, 3.0, 8.0, 0.2, 12});
+  rank1.record_migration({1, 0, 2.5, 4});
+  rank1.record_fault({1, 0.5, "stale-replay", 1.0, /*sequence=*/1});
+
+  ExecutionTrace merged;
+  merged.merge(rank0);
+  merged.merge(rank1);
+
+  EXPECT_EQ(merged.processor_count(), 2u);
+  EXPECT_EQ(merged.iterations().size(), 3u);
+  EXPECT_EQ(merged.iteration_count(0), 1u);
+  EXPECT_EQ(merged.iteration_count(1), 2u);
+  EXPECT_EQ(merged.messages().size(), 1u);
+  EXPECT_EQ(merged.migrations().size(), 1u);
+  EXPECT_EQ(merged.migrations()[0].components, 4u);
+  // Faults re-ordered by their global sequence stamp, regardless of which
+  // per-rank trace delivered them.
+  ASSERT_EQ(merged.faults().size(), 2u);
+  EXPECT_EQ(merged.faults()[0].sequence, 1u);
+  EXPECT_EQ(merged.faults()[1].sequence, 2u);
+  // Derived accounting spans both ranks' records.
+  EXPECT_DOUBLE_EQ(merged.span(), 3.0);
+  EXPECT_DOUBLE_EQ(merged.busy_time(0), 1.0);
+  EXPECT_DOUBLE_EQ(merged.busy_time(1), 3.0);
+}
+
+TEST(ExecutionTraceTest, MergeKeepsExplicitProcessorCount) {
+  ExecutionTrace wide;
+  wide.set_processor_count(8);
+  ExecutionTrace narrow;
+  narrow.record_iteration({2, 1, 0.0, 1.0, 1.0, 0.1, 4});
+  wide.merge(narrow);
+  EXPECT_EQ(wide.processor_count(), 8u);
+  narrow.merge(wide);
+  EXPECT_EQ(narrow.processor_count(), 8u);
+}
+
 TEST(MessageKindTest, Names) {
   EXPECT_EQ(to_string(MessageKind::kBoundaryData), "data");
   EXPECT_EQ(to_string(MessageKind::kLoadBalance), "lb");
