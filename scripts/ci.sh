@@ -10,8 +10,12 @@
 #   scripts/ci.sh tier1      # just the plain build + full ctest
 #   scripts/ci.sh tsan       # just the TSan job
 #   scripts/ci.sh asan       # just the ASan+UBSan job
-#   scripts/ci.sh lint       # clang-tidy over compile_commands.json, or a
-#                            # -Werror build when clang-tidy is unavailable
+#   scripts/ci.sh ubsan      # UBSan-only build (plus float-divide-by-zero,
+#                            # which the combined Asan type doesn't enable)
+#                            # over the algo/net/check labels
+#   scripts/ci.sh lint       # aiac_lint (project invariants) + clang-tidy
+#                            # over compile_commands.json, or a -Werror
+#                            # build when clang-tidy is unavailable
 #   scripts/ci.sh bench-smoke  # quick kernel bench vs the checked-in
 #                              # BENCH_kernels.json baseline; fails on
 #                              # allocation-count or speedup regressions
@@ -62,9 +66,25 @@ asan() {
       --output-on-failure
 }
 
+ubsan() {
+  echo "==> UBSan: algo + net + check labelled tests"
+  # Separate from the Asan job: AIAC_UBSAN adds float-divide-by-zero
+  # (not part of -fsanitize=undefined) and -fno-sanitize-recover=all, so
+  # the numeric kernels abort on the first zero divisor instead of
+  # propagating inf through a convergence test.
+  cmake -B build-ubsan -S . -DAIAC_UBSAN=ON >/dev/null
+  cmake --build build-ubsan -j"$jobs"
+  AIAC_CHECK_SCHEDULES="${AIAC_CHECK_SCHEDULES:-200}" \
+  UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+    ctest --test-dir build-ubsan -L 'algo|net|check' --output-on-failure
+}
+
 lint() {
   echo "==> lint: static analysis"
   cmake -B build -S . >/dev/null   # exports compile_commands.json
+  echo "==> lint: aiac_lint (hot-path / lock / wire invariants)"
+  cmake --build build -j"$jobs" --target aiac_lint
+  ./build/tools/aiac_lint --root=. --build=build
   local tidy=""
   for candidate in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
                    clang-tidy-15 clang-tidy-14; do
@@ -102,10 +122,11 @@ case "$stage" in
   tier1) tier1 ;;
   tsan) tsan ;;
   asan) asan ;;
+  ubsan) ubsan ;;
   lint) lint ;;
   bench-smoke) bench_smoke ;;
-  all) tier1; tsan; asan; lint; bench_smoke ;;
-  *) echo "unknown stage: $stage (tier1|tsan|asan|lint|bench-smoke|all)" >&2
+  all) tier1; tsan; asan; ubsan; lint; bench_smoke ;;
+  *) echo "unknown stage: $stage (tier1|tsan|asan|ubsan|lint|bench-smoke|all)" >&2
      exit 2 ;;
 esac
 echo "==> ci: all requested stages green"

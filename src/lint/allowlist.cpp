@@ -1,0 +1,102 @@
+#include "lint/allowlist.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace aiac::lint {
+
+bool glob_match(const std::string& pattern, const std::string& text) {
+  // Iterative glob with single-star backtracking.
+  std::size_t p = 0, t = 0;
+  std::size_t star = std::string::npos, mark = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '?' || pattern[p] == text[t])) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      mark = t;
+    } else if (star != std::string::npos) {
+      p = star + 1;
+      t = ++mark;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+Allowlist load_allowlist(const std::string& path) {
+  Allowlist list;
+  list.path = path;
+  std::ifstream in(path);
+  if (!in) return list;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    // Strip leading whitespace.
+    std::size_t start = line.find_first_not_of(" \t");
+    if (start == std::string::npos) continue;
+    if (line[start] == '#') continue;
+
+    const std::size_t hash = line.find('#', start);
+    std::string body = line.substr(start, hash == std::string::npos
+                                              ? std::string::npos
+                                              : hash - start);
+    std::string why = hash == std::string::npos ? "" : line.substr(hash + 1);
+    // Trim the justification.
+    const std::size_t b = why.find_first_not_of(" \t");
+    why = b == std::string::npos ? "" : why.substr(b);
+
+    std::istringstream fields(body);
+    AllowEntry entry;
+    entry.line = lineno;
+    entry.justification = why;
+    if (!(fields >> entry.check >> entry.file_pattern >>
+          entry.symbol_pattern)) {
+      list.parse_errors.push_back(
+          path + ":" + std::to_string(lineno) +
+          ": expected `<check> <file-pattern> <symbol-pattern> # why`");
+      continue;
+    }
+    std::string extra;
+    if (fields >> extra) {
+      list.parse_errors.push_back(path + ":" + std::to_string(lineno) +
+                                  ": unexpected field `" + extra + "`");
+      continue;
+    }
+    if (why.empty()) {
+      list.parse_errors.push_back(
+          path + ":" + std::to_string(lineno) +
+          ": missing justification (`# why this site is exempt`)");
+      continue;
+    }
+    list.entries.push_back(std::move(entry));
+  }
+  return list;
+}
+
+bool Allowlist::allows(const std::string& check, const std::string& file,
+                       const std::string& symbol) const {
+  bool allowed = false;
+  for (const AllowEntry& entry : entries) {
+    if (entry.check != check && entry.check != "*") continue;
+    if (!glob_match(entry.file_pattern, file)) continue;
+    if (!glob_match(entry.symbol_pattern, symbol)) continue;
+    entry.used = true;  // keep marking later entries for staleness
+    allowed = true;
+  }
+  return allowed;
+}
+
+std::vector<const AllowEntry*> Allowlist::unused() const {
+  std::vector<const AllowEntry*> out;
+  for (const AllowEntry& entry : entries)
+    if (!entry.used) out.push_back(&entry);
+  return out;
+}
+
+}  // namespace aiac::lint

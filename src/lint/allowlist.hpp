@@ -1,0 +1,56 @@
+// The per-site allowlist for deliberate invariant exceptions.
+//
+// Format (tools/aiac_lint.allow), one entry per line:
+//
+//   <check> <file-pattern> <symbol-pattern> # <justification>
+//
+//   alloc src/net/wire.cpp WireWriter::* # pooled buffers, capacity recycled
+//
+// `check` is a check id (`alloc`, `lock`, `wire`). Patterns are shell-style
+// globs (`*` and `?`) matched against the finding's repo-relative path and
+// its symbol (the enclosing function's qualified name, or the flagged
+// token when there is no enclosing function). The justification after `#`
+// is mandatory: an exception nobody can explain is a bug report, not an
+// exception. Blank lines and lines starting with `#` are comments.
+//
+// Entries that match no finding are reported as stale, the same hygiene
+// the model checker applies to its own suppressions — dead exceptions rot
+// into blind spots.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace aiac::lint {
+
+struct AllowEntry {
+  std::string check;
+  std::string file_pattern;
+  std::string symbol_pattern;
+  std::string justification;
+  std::size_t line = 0;      // in the allowlist file
+  mutable bool used = false; // set when a finding matched
+};
+
+struct Allowlist {
+  std::string path;
+  std::vector<AllowEntry> entries;
+  std::vector<std::string> parse_errors;  // malformed lines, missing why
+
+  /// True (and marks the entry used) when some entry covers the finding.
+  bool allows(const std::string& check, const std::string& file,
+              const std::string& symbol) const;
+
+  /// Entries never consulted by any finding, for staleness reporting.
+  std::vector<const AllowEntry*> unused() const;
+};
+
+/// Loads an allowlist; a missing file yields an empty list (not an
+/// error — most fixture runs have no exceptions).
+Allowlist load_allowlist(const std::string& path);
+
+/// Shell-style glob match (`*`, `?`); no character classes.
+bool glob_match(const std::string& pattern, const std::string& text);
+
+}  // namespace aiac::lint

@@ -1,0 +1,78 @@
+// The three project-invariant checks aiac_lint enforces (DESIGN.md §12):
+//
+//   alloc — hot-path allocation freedom. A registry of hot entry points
+//           (iteration lifecycle, Newton workspace solves, boundary
+//           fill/extract, socket send/receive) is closed over the
+//           name-based call graph; any allocation-shaped site reachable
+//           from a root is a finding: `new`, malloc-family calls,
+//           make_unique/make_shared, growing-container member calls,
+//           std::string/ostringstream construction, `throw`.
+//
+//   lock  — lock discipline. Raw std::mutex (and friends) are forbidden
+//           outside src/runtime/ — everything else takes
+//           runtime::OrderedMutex so inversions abort at runtime; the
+//           static side flags (a) raw-mutex mentions, (b) acquisitions
+//           whose literal rank does not exceed every held rank, and
+//           (c) blocking calls (condition-variable waits, sleeps, socket
+//           syscalls, pool acquires) made while an OrderedMutex guard is
+//           syntactically held.
+//
+//   wire  — wire-format hygiene in net code. No reinterpret_cast puns of
+//           object addresses to byte buffers (sockaddr API casts exempt),
+//           no memcpy/memmove in frame paths, no non-fixed-width integer
+//           members in wire structs, and FrameType exhaustiveness: every
+//           enumerator needs a serializer site, a parser site, and a
+//           golden-frame reference in the wire test.
+//
+// Checks emit raw findings; the driver applies the allowlist.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lint/model.hpp"
+
+namespace aiac::lint {
+
+struct Finding {
+  std::string check;    // "alloc" | "lock" | "wire"
+  std::string file;     // as stored on the SourceFile (driver-relative)
+  std::size_t line = 0;
+  std::string symbol;   // enclosing function's qualified name, or token
+  std::string message;
+};
+
+struct AllocCheckConfig {
+  /// Hot entry points, matched as qualified-name suffixes
+  /// ("ProcessorCore::begin_iteration" matches the aiac::algo one).
+  std::vector<std::string> roots;
+  /// When true, a root that matches no function definition is itself a
+  /// finding — a stale registry is a disabled check.
+  bool require_roots = true;
+};
+
+/// Call-graph reachability pass over the token model.
+void check_hot_alloc(const CodeModel& model, const AllocCheckConfig& config,
+                     std::vector<Finding>& out);
+
+struct LockCheckConfig {
+  /// Directory fragments whose files may use raw std::mutex — the
+  /// runtime primitives the discipline is built out of.
+  std::vector<std::string> raw_mutex_exempt = {"src/runtime/"};
+};
+
+void check_lock_discipline(const CodeModel& model,
+                           const LockCheckConfig& config,
+                           std::vector<Finding>& out);
+
+/// Wire hygiene. Structural rules run over non-test files whose path
+/// contains a `net/` component; the FrameType exhaustiveness rule also
+/// consults test files (basename starting with `test_`) for golden-frame
+/// evidence, and is skipped when the file set has no FrameType enum.
+void check_wire_hygiene(const CodeModel& model, std::vector<Finding>& out);
+
+/// The built-in hot-entry-point registry for this repository.
+std::vector<std::string> default_hot_registry();
+
+}  // namespace aiac::lint

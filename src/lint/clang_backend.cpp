@@ -1,0 +1,261 @@
+#include "lint/clang_backend.hpp"
+
+#if !defined(AIAC_HAVE_LIBCLANG)
+
+namespace aiac::lint {
+
+bool clang_backend_compiled() { return false; }
+
+bool clang_check_hot_alloc(const std::vector<std::string>&,
+                           const std::string&, const AllocCheckConfig&,
+                           std::vector<Finding>&,
+                           std::vector<std::string>&) {
+  return false;
+}
+
+}  // namespace aiac::lint
+
+#else  // AIAC_HAVE_LIBCLANG
+
+#include <clang-c/CXCompilationDatabase.h>
+#include <clang-c/Index.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace aiac::lint {
+
+namespace {
+
+std::string to_string(CXString s) {
+  const char* c = clang_getCString(s);
+  std::string out = c ? c : "";
+  clang_disposeString(s);
+  return out;
+}
+
+struct AllocSite {
+  std::string file;
+  unsigned line = 0;
+  std::string what;
+};
+
+/// Per-TU harvest: function USR -> {callees (USRs), alloc sites,
+/// display name}.
+struct FnInfo {
+  std::string display;
+  std::set<std::string> callees;
+  std::vector<AllocSite> sites;
+};
+
+struct Harvest {
+  std::map<std::string, FnInfo> functions;  // by USR
+};
+
+bool is_function_decl(CXCursorKind kind) {
+  return kind == CXCursor_FunctionDecl || kind == CXCursor_CXXMethod ||
+         kind == CXCursor_Constructor || kind == CXCursor_Destructor ||
+         kind == CXCursor_FunctionTemplate ||
+         kind == CXCursor_ConversionFunction;
+}
+
+std::string cursor_location_file(CXCursor cursor, unsigned* line) {
+  CXSourceLocation loc = clang_getCursorLocation(cursor);
+  CXFile file;
+  unsigned l = 0, col = 0, off = 0;
+  clang_getExpansionLocation(loc, &file, &l, &col, &off);
+  if (line) *line = l;
+  if (!file) return "";
+  return to_string(clang_getFileName(file));
+}
+
+bool allocating_call_name(const std::string& name) {
+  return name == "malloc" || name == "calloc" || name == "realloc" ||
+         name == "strdup" || name == "aligned_alloc" ||
+         name == "posix_memalign" || name == "make_unique" ||
+         name == "make_shared" || name == "to_string" ||
+         name == "push_back" || name == "emplace_back" ||
+         name == "emplace" || name == "push_front" || name == "insert" ||
+         name == "append" || name == "assign" || name == "resize" ||
+         name == "reserve" || name == "operator new" ||
+         name == "operator new[]";
+}
+
+struct VisitCtx {
+  Harvest* harvest = nullptr;
+  std::string current_usr;  // enclosing function definition's USR
+};
+
+CXChildVisitResult visit(CXCursor cursor, CXCursor, CXClientData data) {
+  auto* ctx = static_cast<VisitCtx*>(data);
+  const CXCursorKind kind = clang_getCursorKind(cursor);
+
+  if (is_function_decl(kind) && clang_isCursorDefinition(cursor)) {
+    VisitCtx inner;
+    inner.harvest = ctx->harvest;
+    inner.current_usr = to_string(clang_getCursorUSR(cursor));
+    FnInfo& info = ctx->harvest->functions[inner.current_usr];
+    if (info.display.empty())
+      info.display = to_string(clang_getCursorDisplayName(cursor));
+    clang_visitChildren(cursor, visit, &inner);
+    return CXChildVisit_Continue;
+  }
+
+  if (!ctx->current_usr.empty()) {
+    FnInfo& info = ctx->harvest->functions[ctx->current_usr];
+    if (kind == CXCursor_CXXNewExpr) {
+      unsigned line = 0;
+      const std::string file = cursor_location_file(cursor, &line);
+      info.sites.push_back({file, line, "new-expression"});
+    } else if (kind == CXCursor_CXXThrowExpr) {
+      unsigned line = 0;
+      const std::string file = cursor_location_file(cursor, &line);
+      info.sites.push_back(
+          {file, line,
+           "throw (allocating unwind path; allowlist if this branch is "
+           "deliberately cold)"});
+    } else if (kind == CXCursor_CallExpr ||
+               kind == CXCursor_DeclRefExpr ||
+               kind == CXCursor_MemberRefExpr) {
+      CXCursor ref = clang_getCursorReferenced(cursor);
+      if (!clang_Cursor_isNull(ref) &&
+          is_function_decl(clang_getCursorKind(ref))) {
+        const std::string name = to_string(clang_getCursorSpelling(ref));
+        if (allocating_call_name(name) && kind == CXCursor_CallExpr) {
+          unsigned line = 0;
+          const std::string file = cursor_location_file(cursor, &line);
+          info.sites.push_back({file, line, "call to " + name + "()"});
+        }
+        info.callees.insert(to_string(clang_getCursorUSR(ref)));
+      }
+    }
+  }
+  return CXChildVisit_Recurse;
+}
+
+/// Compile arguments for one TU from the compilation database, with the
+/// compiler argv[0] and the source file itself stripped.
+std::vector<std::string> tu_args(CXCompilationDatabase db,
+                                 const std::string& path) {
+  std::vector<std::string> args;
+  CXCompileCommands cmds =
+      clang_CompilationDatabase_getCompileCommands(db, path.c_str());
+  if (clang_CompileCommands_getSize(cmds) > 0) {
+    CXCompileCommand cmd = clang_CompileCommands_getCommand(cmds, 0);
+    const unsigned n = clang_CompileCommand_getNumArgs(cmd);
+    for (unsigned i = 1; i < n; ++i) {
+      const std::string a =
+          to_string(clang_CompileCommand_getArg(cmd, i));
+      if (a == "-o") {  // drop the flag and its object-file operand
+        ++i;
+        continue;
+      }
+      if (a == path || a == "-c") continue;
+      args.push_back(a);
+    }
+  }
+  clang_CompileCommands_dispose(cmds);
+  return args;
+}
+
+}  // namespace
+
+bool clang_backend_compiled() { return true; }
+
+bool clang_check_hot_alloc(const std::vector<std::string>& tu_paths,
+                           const std::string& compile_commands_dir,
+                           const AllocCheckConfig& config,
+                           std::vector<Finding>& out,
+                           std::vector<std::string>& warnings) {
+  CXCompilationDatabase_Error db_error = CXCompilationDatabase_NoError;
+  CXCompilationDatabase db = clang_CompilationDatabase_fromDirectory(
+      compile_commands_dir.c_str(), &db_error);
+  if (db_error != CXCompilationDatabase_NoError) {
+    warnings.push_back("libclang: cannot load compilation database from " +
+                       compile_commands_dir);
+    return false;
+  }
+
+  CXIndex index = clang_createIndex(/*excludeDeclsFromPCH=*/0,
+                                    /*displayDiagnostics=*/0);
+  Harvest harvest;
+  std::size_t parsed = 0;
+  for (const std::string& path : tu_paths) {
+    std::vector<std::string> args = tu_args(db, path);
+    std::vector<const char*> argv;
+    argv.reserve(args.size());
+    for (const std::string& a : args) argv.push_back(a.c_str());
+    CXTranslationUnit tu = nullptr;
+    const CXErrorCode err = clang_parseTranslationUnit2(
+        index, path.c_str(), argv.data(), static_cast<int>(argv.size()),
+        nullptr, 0, CXTranslationUnit_None, &tu);
+    if (err != CXError_Success || tu == nullptr) {
+      warnings.push_back("libclang: failed to parse " + path);
+      continue;
+    }
+    VisitCtx ctx;
+    ctx.harvest = &harvest;
+    clang_visitChildren(clang_getTranslationUnitCursor(tu), visit, &ctx);
+    clang_disposeTranslationUnit(tu);
+    ++parsed;
+  }
+  clang_disposeIndex(index);
+  clang_CompilationDatabase_dispose(db);
+  if (parsed == 0) return false;
+
+  // Roots: match registry suffixes against display names ("Foo::bar" is
+  // matched against "bar(int)" display + qualified prefixes).
+  std::map<std::string, std::string> via;  // USR -> reach chain
+  std::vector<std::string> work;
+  for (const std::string& root : config.roots) {
+    const std::string bare = root.substr(root.rfind(':') + 1);
+    bool matched = false;
+    for (const auto& [usr, info] : harvest.functions) {
+      const std::string& d = info.display;
+      if (d.rfind(bare + "(", 0) == 0 ||
+          d.find("::" + bare + "(") != std::string::npos ||
+          usr.find(bare) != std::string::npos) {
+        if (via.emplace(usr, root).second) work.push_back(usr);
+        matched = true;
+      }
+    }
+    if (!matched && config.require_roots) {
+      out.push_back({"alloc", "(registry)", 0, root,
+                     "hot entry point matches no function definition — "
+                     "stale registry entry disables the check for it"});
+    }
+  }
+  while (!work.empty()) {
+    const std::string usr = work.back();
+    work.pop_back();
+    auto it = harvest.functions.find(usr);
+    if (it == harvest.functions.end()) continue;
+    for (const std::string& callee : it->second.callees) {
+      auto def = harvest.functions.find(callee);
+      if (def == harvest.functions.end()) continue;
+      if (via.emplace(callee, via[usr] + " -> " + def->second.display)
+              .second)
+        work.push_back(callee);
+    }
+  }
+  std::set<std::string> seen;
+  for (const auto& [usr, chain] : via) {
+    const FnInfo& info = harvest.functions.at(usr);
+    for (const AllocSite& site : info.sites) {
+      if (site.file.empty()) continue;
+      const std::string key =
+          site.file + ":" + std::to_string(site.line) + ":" + site.what;
+      if (!seen.insert(key).second) continue;
+      out.push_back({"alloc", site.file, site.line, info.display,
+                     site.what + " reachable from hot entry point via " +
+                         chain});
+    }
+  }
+  return true;
+}
+
+}  // namespace aiac::lint
+
+#endif  // AIAC_HAVE_LIBCLANG

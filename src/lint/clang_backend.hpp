@@ -1,0 +1,35 @@
+// Optional libclang backend for the hot-path allocation check.
+//
+// When the build found clang-c/Index.h (AIAC_HAVE_LIBCLANG), the alloc
+// check's call graph comes from real ASTs instead of token heuristics:
+// call edges resolve through clang_getCursorReferenced (no name-collision
+// over-approximation) and allocation sites are CXXNewExpr /
+// CXXThrowExpr / known-allocating calls. The lock and wire checks stay
+// token-level in both builds — they encode textual invariants (what the
+// source says, not what it means) and the token pass is exact for them.
+//
+// Without libclang the functions here report unavailability and the
+// driver uses the token call graph, so `scripts/ci.sh lint` always runs
+// every check.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/checks.hpp"
+
+namespace aiac::lint {
+
+bool clang_backend_compiled();
+
+/// AST-based variant of check_hot_alloc over the given translation units
+/// (absolute paths) using compile flags from `compile_commands_dir`.
+/// Returns false when the backend is unavailable or parsing failed for
+/// every TU — the caller then falls back to the token pass.
+bool clang_check_hot_alloc(const std::vector<std::string>& tu_paths,
+                           const std::string& compile_commands_dir,
+                           const AllocCheckConfig& config,
+                           std::vector<Finding>& out,
+                           std::vector<std::string>& warnings);
+
+}  // namespace aiac::lint

@@ -1,0 +1,183 @@
+#include "lint/lexer.hpp"
+
+#include <array>
+#include <cctype>
+
+namespace aiac::lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Two-character punctuators the checks care about keeping fused; every
+/// other punctuation character becomes a single-char token.
+bool fused_pair(char a, char b) {
+  return (a == ':' && b == ':') || (a == '-' && b == '>') ||
+         (a == '=' && b == '=') || (a == '!' && b == '=');
+}
+
+}  // namespace
+
+bool is_non_call_keyword(const std::string& word) {
+  static const std::array<const char*, 14> kWords = {
+      "if",     "for",    "while",   "switch",   "catch",  "sizeof", "alignof",
+      "return", "typeid", "else",    "decltype", "static_assert",
+      "alignas", "noexcept"};
+  for (const char* w : kWords)
+    if (word == w) return true;
+  return false;
+}
+
+std::vector<Token> lex(const std::string& src) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  std::size_t line = 1;
+  const std::size_t n = src.size();
+
+  auto peek = [&](std::size_t k) -> char {
+    return i + k < n ? src[i + k] : '\0';
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (c == '\\' && peek(1) == '\n') {  // line splice
+      ++line;
+      i += 2;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '/' && peek(1) == '/') {
+      while (i < n && src[i] != '\n') {
+        if (src[i] == '\\' && peek(1) == '\n') {  // spliced // comment
+          ++line;
+          i += 2;
+          continue;
+        }
+        ++i;
+      }
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      i += 2;
+      while (i < n && !(src[i] == '*' && peek(1) == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      i = i + 2 <= n ? i + 2 : n;
+      continue;
+    }
+    // Preprocessor directive: drop to end of (possibly continued) line.
+    // Only when `#` starts a directive, i.e. first non-ws token on a line;
+    // we approximate by treating every `#` outside literals as one, which
+    // is correct for well-formed C++ (no other use of `#` survives
+    // preprocessing contexts we lex).
+    if (c == '#') {
+      while (i < n && src[i] != '\n') {
+        if (src[i] == '\\' && peek(1) == '\n') {
+          ++line;
+          i += 2;
+          continue;
+        }
+        // A // comment ends the directive's logical content but the
+        // newline still terminates the line; just keep scanning.
+        ++i;
+      }
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim"
+    if (c == 'R' && peek(1) == '"') {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && src[j] != '(' && src[j] != '"' && delim.size() < 16)
+        delim += src[j++];
+      if (j < n && src[j] == '(') {
+        const std::size_t start_line = line;
+        const std::string closer = ")" + delim + "\"";
+        const std::size_t start = j + 1;
+        std::size_t end = src.find(closer, start);
+        if (end == std::string::npos) end = n;
+        std::string text = src.substr(start, end - start);
+        for (char ch : text)
+          if (ch == '\n') ++line;
+        out.push_back({TokKind::kString, std::move(text), start_line});
+        i = end == n ? n : end + closer.size();
+        continue;
+      }
+      // Not actually a raw string ("R" identifier); fall through.
+    }
+    if (ident_start(c)) {
+      std::size_t j = i;
+      while (j < n && ident_char(src[j])) ++j;
+      out.push_back({TokKind::kIdentifier, src.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      std::size_t j = i;
+      // pp-number: digits, letters (hex/exponent/suffix), '.', and signs
+      // after e/E/p/P.
+      while (j < n) {
+        const char d = src[j];
+        if (ident_char(d) || d == '.') {
+          ++j;
+        } else if ((d == '+' || d == '-') && j > i &&
+                   (src[j - 1] == 'e' || src[j - 1] == 'E' ||
+                    src[j - 1] == 'p' || src[j - 1] == 'P')) {
+          ++j;
+        } else {
+          break;
+        }
+      }
+      out.push_back({TokKind::kNumber, src.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t j = i + 1;
+      std::string text;
+      while (j < n && src[j] != quote) {
+        if (src[j] == '\\' && j + 1 < n) {
+          text += src[j];
+          text += src[j + 1];
+          if (src[j + 1] == '\n') ++line;
+          j += 2;
+          continue;
+        }
+        if (src[j] == '\n') ++line;  // unterminated; keep line count sane
+        text += src[j++];
+      }
+      out.push_back({quote == '"' ? TokKind::kString : TokKind::kCharLit,
+                     std::move(text), line});
+      i = j < n ? j + 1 : n;
+      continue;
+    }
+    // Punctuation.
+    if (fused_pair(c, peek(1))) {
+      out.push_back({TokKind::kPunct, std::string{c, peek(1)}, line});
+      i += 2;
+      continue;
+    }
+    out.push_back({TokKind::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace aiac::lint

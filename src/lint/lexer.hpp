@@ -1,0 +1,41 @@
+// A minimal C++ lexer for aiac_lint's token-level analysis passes.
+//
+// This is not a conforming preprocessor/lexer — it is exactly enough to
+// make the project's invariant checks (docs/DESIGN.md §12) robust against
+// the things that break naive grep: comments, string and character
+// literals (including raw strings), line splices, and preprocessor
+// directives. Every token carries its source line so findings report
+// file:line.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace aiac::lint {
+
+enum class TokKind {
+  kIdentifier,  // identifiers and keywords
+  kNumber,
+  kString,      // "..." and R"(...)" (text excludes quotes)
+  kCharLit,     // '...'
+  kPunct,       // one operator/punctuator per token ("::" and "->" fused)
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;
+  std::size_t line = 0;
+};
+
+/// Lexes one file's contents. Comments are dropped; preprocessor
+/// directives are dropped whole (including backslash continuations) so a
+/// `#define` body cannot masquerade as code. Never throws on malformed
+/// input — an unterminated literal simply ends the token stream at EOF.
+std::vector<Token> lex(const std::string& source);
+
+/// True for C++ keywords that can precede `(` without being a call
+/// (`if`, `for`, `while`, `switch`, `catch`, `sizeof`, ...).
+bool is_non_call_keyword(const std::string& word);
+
+}  // namespace aiac::lint

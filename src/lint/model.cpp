@@ -1,0 +1,346 @@
+#include "lint/model.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+namespace aiac::lint {
+
+bool load_source(const std::string& path, SourceFile& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out.path = path;
+  out.tokens = lex(buf.str());
+  return true;
+}
+
+std::size_t skip_balanced(const std::vector<Token>& tokens, std::size_t i) {
+  const std::string& open = tokens[i].text;
+  std::string close;
+  if (open == "(") close = ")";
+  else if (open == "{") close = "}";
+  else if (open == "[") close = "]";
+  else return i + 1;
+  std::size_t depth = 0;
+  for (std::size_t j = i; j < tokens.size(); ++j) {
+    if (tokens[j].kind != TokKind::kPunct) continue;
+    if (tokens[j].text == open) ++depth;
+    else if (tokens[j].text == close && --depth == 0) return j + 1;
+  }
+  return tokens.size();
+}
+
+namespace {
+
+bool is_punct(const Token& t, const char* text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+
+bool is_ident(const Token& t, const char* text) {
+  return t.kind == TokKind::kIdentifier && t.text == text;
+}
+
+/// Tokens allowed between a function declarator's `)` and its body `{`:
+/// cv/ref qualifiers, virt-specifiers, trailing return types.
+bool is_specifier_token(const Token& t) {
+  if (t.kind == TokKind::kIdentifier) return !is_non_call_keyword(t.text) ||
+                                             t.text == "noexcept";
+  static const char* kPunct[] = {"&", "&&", "->", "::", "<", ">", ",", "*",
+                                 "...", "."};
+  for (const char* p : kPunct)
+    if (t.text == p) return true;
+  return false;
+}
+
+class Extractor {
+ public:
+  explicit Extractor(const SourceFile& file) : file_(file),
+                                               toks_(file.tokens) {}
+
+  std::vector<FunctionDef> run() {
+    scan_region(0, toks_.size());
+    return std::move(defs_);
+  }
+
+ private:
+  const SourceFile& file_;
+  const std::vector<Token>& toks_;
+  std::vector<std::string> scopes_;
+  std::vector<FunctionDef> defs_;
+
+  const Token* at(std::size_t i) const {
+    return i < toks_.size() ? &toks_[i] : nullptr;
+  }
+
+  /// Skips a `template <...>` header starting at the `<`. Angle brackets
+  /// do not nest with full generality; counting depth is the standard
+  /// heuristic and is exact for this codebase's headers.
+  std::size_t skip_template_header(std::size_t i) {
+    std::size_t depth = 0;
+    for (; i < toks_.size(); ++i) {
+      if (is_punct(toks_[i], "<")) ++depth;
+      else if (is_punct(toks_[i], ">") && --depth == 0) return i + 1;
+      else if (is_punct(toks_[i], "(")) i = skip_balanced(toks_, i) - 1;
+    }
+    return i;
+  }
+
+  /// At `namespace`: handles `namespace A::B {` and anonymous namespaces.
+  std::size_t handle_namespace(std::size_t i) {
+    std::size_t j = i + 1;
+    std::string name;
+    while (const Token* t = at(j)) {
+      if (t->kind == TokKind::kIdentifier) {
+        if (!name.empty()) name += "::";
+        name += t->text;
+        ++j;
+      } else if (is_punct(*t, "::")) {
+        ++j;
+      } else {
+        break;
+      }
+    }
+    const Token* open = at(j);
+    if (!open || !is_punct(*open, "{")) {
+      // namespace alias or malformed; skip past the `;`.
+      while (const Token* t = at(j)) {
+        if (is_punct(*t, ";")) return j + 1;
+        ++j;
+      }
+      return j;
+    }
+    const std::size_t end = skip_balanced(toks_, j);
+    scopes_.push_back(name);  // "" for anonymous: folds away in join
+    scan_region(j + 1, end - 1);
+    scopes_.pop_back();
+    return end;
+  }
+
+  /// At `class`/`struct`/`union`: pushes the tag scope over its body.
+  std::size_t handle_record(std::size_t i) {
+    // `template <class T>` / `<typename T>` parameters are not records.
+    if (i > 0 && (is_punct(toks_[i - 1], "<") || is_punct(toks_[i - 1], ",")))
+      return i + 1;
+    std::size_t j = i + 1;
+    std::string name;
+    // Skip attributes/alignas, take the last identifier before `:`/`{`/`;`
+    // as the tag name (handles `class AIAC_EXPORT Foo`).
+    while (const Token* t = at(j)) {
+      if (t->kind == TokKind::kIdentifier && t->text != "final" &&
+          t->text != "alignas") {
+        name = t->text;
+        ++j;
+      } else if (is_punct(*t, "(") || is_punct(*t, "[")) {
+        j = skip_balanced(toks_, j);
+      } else if (is_punct(*t, "<")) {
+        j = skip_template_header(j);  // explicit specialisation args
+      } else {
+        break;
+      }
+    }
+    // Base clause: scan to the body `{` or a `;` (declaration only).
+    while (const Token* t = at(j)) {
+      if (is_punct(*t, "{")) {
+        const std::size_t end = skip_balanced(toks_, j);
+        scopes_.push_back(name);
+        scan_region(j + 1, end - 1);
+        scopes_.pop_back();
+        return end;
+      }
+      if (is_punct(*t, ";")) return j + 1;
+      if (is_punct(*t, "(")) { j = skip_balanced(toks_, j); continue; }
+      ++j;
+    }
+    return j;
+  }
+
+  /// At `enum`: skips the whole enumeration (enumerators are no-ops for
+  /// the model; the wire check re-lexes enums itself).
+  std::size_t handle_enum(std::size_t i) {
+    std::size_t j = i + 1;
+    while (const Token* t = at(j)) {
+      if (is_punct(*t, "{")) return skip_balanced(toks_, j);
+      if (is_punct(*t, ";")) return j + 1;
+      ++j;
+    }
+    return j;
+  }
+
+  /// Tries to match a function definition whose name token is at `i`
+  /// (with `(` at i+1). Returns one past the body on success.
+  std::size_t try_function(std::size_t i) {
+    const std::size_t after_params = skip_balanced(toks_, i + 1);
+    std::size_t j = after_params;
+    // Specifier soup between `)` and `{`: const, noexcept(...),
+    // override, trailing return types. A constructor's member-init list
+    // begins with `:`.
+    bool in_init_list = false;
+    while (const Token* t = at(j)) {
+      if (is_punct(*t, "{")) {
+        if (in_init_list) {
+          // Brace-init of a member (`a_{1}`) follows an identifier or
+          // closing angle bracket; the body follows `)`/`}`/name-less `:`.
+          const Token& prev = toks_[j - 1];
+          if (prev.kind == TokKind::kIdentifier || is_punct(prev, ">")) {
+            j = skip_balanced(toks_, j);
+            continue;
+          }
+        }
+        break;  // function body
+      }
+      if (is_punct(*t, ";") || is_punct(*t, "=") || is_punct(*t, "[")) {
+        return 0;  // declaration, `= default/delete/0`, array decl
+      }
+      if (is_punct(*t, ":")) {
+        in_init_list = true;
+        ++j;
+        continue;
+      }
+      if (is_punct(*t, "(")) {
+        // noexcept(...) / __attribute__(...) / member-init parens.
+        j = skip_balanced(toks_, j);
+        continue;
+      }
+      if (is_punct(*t, ",") && in_init_list) { ++j; continue; }
+      if (!is_specifier_token(*t) && !in_init_list) return 0;
+      ++j;
+    }
+    const Token* body = at(j);
+    if (!body || !is_punct(*body, "{")) return 0;
+    const std::size_t body_end = skip_balanced(toks_, j);
+
+    // Fold `Qualifier::` chains written before the name into the scope.
+    std::vector<std::string> quals;
+    std::size_t k = i;
+    while (k >= 2 && is_punct(toks_[k - 1], "::") &&
+           toks_[k - 2].kind == TokKind::kIdentifier) {
+      quals.insert(quals.begin(), toks_[k - 2].text);
+      k -= 2;
+    }
+
+    FunctionDef def;
+    def.name = toks_[i].text;
+    def.file = &file_;
+    def.line = toks_[i].line;
+    def.body_begin = j;
+    def.body_end = body_end;
+    std::string qualified;
+    for (const std::string& s : scopes_) {
+      if (s.empty()) continue;
+      qualified += s;
+      qualified += "::";
+    }
+    for (const std::string& s : quals) {
+      qualified += s;
+      qualified += "::";
+    }
+    qualified += def.name;
+    def.qualified = std::move(qualified);
+    defs_.push_back(std::move(def));
+    return body_end;
+  }
+
+  void scan_region(std::size_t begin, std::size_t end) {
+    std::size_t i = begin;
+    while (i < end && i < toks_.size()) {
+      const Token& t = toks_[i];
+      if (is_ident(t, "namespace")) { i = handle_namespace(i); continue; }
+      if (is_ident(t, "class") || is_ident(t, "struct") ||
+          is_ident(t, "union")) {
+        i = handle_record(i);
+        continue;
+      }
+      if (is_ident(t, "enum")) { i = handle_enum(i); continue; }
+      if (is_ident(t, "template")) {
+        std::size_t j = i + 1;
+        if (at(j) && is_punct(toks_[j], "<")) j = skip_template_header(j);
+        i = j;
+        continue;
+      }
+      if (t.kind == TokKind::kIdentifier && !is_non_call_keyword(t.text) &&
+          at(i + 1) && is_punct(toks_[i + 1], "(")) {
+        const std::size_t next = try_function(i);
+        if (next != 0) { i = next; continue; }
+        ++i;
+        continue;
+      }
+      if (is_punct(t, "{")) { i = skip_balanced(toks_, i); continue; }
+      ++i;
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<FunctionDef> extract_functions(const SourceFile& file) {
+  return Extractor(file).run();
+}
+
+void CodeModel::add_file(SourceFile file) {
+  files_.push_back(std::move(file));
+  indexed_ = false;
+}
+
+const std::vector<SourceFile>& CodeModel::files() const { return files_; }
+
+const std::vector<FunctionDef>& CodeModel::functions() const {
+  return functions_;
+}
+
+void CodeModel::index() {
+  functions_.clear();
+  by_name_.clear();
+  for (const SourceFile& f : files_) {
+    for (FunctionDef& def : extract_functions(f))
+      functions_.push_back(std::move(def));
+  }
+  for (std::size_t i = 0; i < functions_.size(); ++i)
+    by_name_[functions_[i].name].push_back(i);
+  indexed_ = true;
+}
+
+std::vector<const FunctionDef*> CodeModel::by_name(
+    const std::string& name) const {
+  std::vector<const FunctionDef*> out;
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return out;
+  out.reserve(it->second.size());
+  for (std::size_t i : it->second) out.push_back(&functions_[i]);
+  return out;
+}
+
+std::vector<const FunctionDef*> CodeModel::by_suffix(
+    const std::string& suffix) const {
+  std::vector<const FunctionDef*> out;
+  for (const FunctionDef& def : functions_) {
+    const std::string& q = def.qualified;
+    if (q.size() < suffix.size()) continue;
+    if (q.compare(q.size() - suffix.size(), suffix.size(), suffix) != 0)
+      continue;
+    if (q.size() == suffix.size() ||
+        (q.size() >= suffix.size() + 2 &&
+         q.compare(q.size() - suffix.size() - 2, 2, "::") == 0)) {
+      out.push_back(&def);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> CodeModel::callees(const FunctionDef& def) const {
+  std::set<std::string> seen;
+  const auto& toks = def.file->tokens;
+  for (std::size_t i = def.body_begin;
+       i + 1 < def.body_end && i + 1 < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdentifier || is_non_call_keyword(t.text))
+      continue;
+    if (toks[i + 1].kind == TokKind::kPunct && toks[i + 1].text == "(")
+      seen.insert(t.text);
+  }
+  return {seen.begin(), seen.end()};
+}
+
+}  // namespace aiac::lint

@@ -1,0 +1,83 @@
+// Token-level source model for aiac_lint: files, function definitions
+// with body extents, and the name-based call graph the hot-path
+// allocation check walks.
+//
+// The model is deliberately an over-approximation. Function definitions
+// are recognised syntactically (name + balanced parens + optional
+// specifiers + `{`), calls are resolved by name — a call to `clear()`
+// links to every known function named `clear`. For an invariant linter
+// that errs toward reporting (with an explicit allowlist for deliberate
+// sites) this is the right bias: a missed edge hides a regression, a
+// spurious edge costs one justified allowlist line.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lint/lexer.hpp"
+
+namespace aiac::lint {
+
+struct SourceFile {
+  std::string path;  // as given (findings report this path)
+  std::vector<Token> tokens;
+};
+
+/// Reads and lexes one file. Returns false (and leaves `out` empty) when
+/// the file cannot be read.
+bool load_source(const std::string& path, SourceFile& out);
+
+struct FunctionDef {
+  std::string qualified;    // e.g. "aiac::algo::ProcessorCore::iterate"
+  std::string name;         // simple name, "iterate"
+  const SourceFile* file = nullptr;
+  std::size_t line = 0;
+  std::size_t body_begin = 0;  // token index of the opening `{`
+  std::size_t body_end = 0;    // token index one past the closing `}`
+};
+
+/// Extracts function definitions (free functions, member functions both
+/// in-class and out-of-line) from one lexed file. Scope names from
+/// `namespace`/`class`/`struct` blocks are folded into `qualified`.
+std::vector<FunctionDef> extract_functions(const SourceFile& file);
+
+class CodeModel {
+ public:
+  /// Takes ownership of the file. FunctionDef::file pointers are minted
+  /// by index(), which must run after the last add_file (adding more
+  /// files afterwards requires re-indexing).
+  void add_file(SourceFile file);
+
+  const std::vector<SourceFile>& files() const;
+  const std::vector<FunctionDef>& functions() const;
+
+  /// All definitions with the given simple name.
+  std::vector<const FunctionDef*> by_name(const std::string& name) const;
+
+  /// Definitions whose qualified name ends with `suffix` (suffix matching
+  /// lets the registry say "ProcessorCore::begin_iteration" without the
+  /// namespace chain).
+  std::vector<const FunctionDef*> by_suffix(const std::string& suffix) const;
+
+  /// Simple names of everything `def`'s body appears to call.
+  std::vector<std::string> callees(const FunctionDef& def) const;
+
+  /// Builds the index; call once after the last add_file.
+  void index();
+
+ private:
+  std::vector<SourceFile> files_;
+  std::vector<FunctionDef> functions_;
+  std::map<std::string, std::vector<std::size_t>> by_name_;
+  bool indexed_ = false;
+};
+
+/// Advances `i` past a balanced token group that opens at tokens[i]
+/// (`(`, `{`, `[`, or `<` is NOT supported — angle brackets are not
+/// balanced in C++). Returns one past the matching closer, or
+/// tokens.size() when unbalanced.
+std::size_t skip_balanced(const std::vector<Token>& tokens, std::size_t i);
+
+}  // namespace aiac::lint

@@ -20,6 +20,8 @@
 //                locks (leader oracle, halt broadcast) lock ascending by
 //                construction and the detection mutex may be held around
 //                any of them.
+//   kLeafRank    terminal utilities (the log sink) that may be acquired
+//                while holding anything and never lock anything further.
 #pragma once
 
 #include <cstdio>
@@ -28,6 +30,12 @@
 #include <vector>
 
 namespace aiac::runtime {
+
+/// The maximum rank: a mutex that may be taken while holding any other
+/// lock, and under which no further OrderedMutex can be acquired (not
+/// even another kLeafRank one — the order check requires strictly
+/// ascending ranks).
+inline constexpr unsigned kLeafRank = 0xFFFFFFFFu;
 
 class OrderedMutex {
  public:

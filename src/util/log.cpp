@@ -5,11 +5,16 @@
 #include <iostream>
 #include <stdexcept>
 
+#include "runtime/ordered_mutex.hpp"
+
 namespace aiac::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_sink_mutex;
+// Leaf rank: logging happens from anywhere, including under engine
+// locks, and never acquires anything further — so ordering it last is
+// both safe and checked.
+runtime::OrderedMutex g_sink_mutex{runtime::kLeafRank};
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -48,7 +53,7 @@ LogLevel parse_log_level(const std::string& name) {
 void log_message(LogLevel level, const std::string& where,
                  const std::string& message) {
   if (level < log_level()) return;
-  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  std::lock_guard<runtime::OrderedMutex> lock(g_sink_mutex);
   std::cerr << '[' << level_name(level) << "] (" << where << ") " << message
             << '\n';
 }

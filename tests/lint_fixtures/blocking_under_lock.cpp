@@ -1,0 +1,18 @@
+// Seeded violation for the lock check: a condition-variable wait while
+// an OrderedMutex guard is syntactically held.
+#include <condition_variable>
+#include <mutex>
+
+#include "runtime/ordered_mutex.hpp"
+
+namespace fixture {
+
+aiac::runtime::OrderedMutex g_mutex(3);
+std::condition_variable_any g_cv;
+
+void wait_until_ready() {
+  std::lock_guard<aiac::runtime::OrderedMutex> lock(g_mutex);
+  g_cv.wait(lock);
+}
+
+}  // namespace fixture

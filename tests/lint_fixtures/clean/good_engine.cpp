@@ -1,0 +1,22 @@
+// Conforming fixture: ascending OrderedMutex ranks, no raw mutexes, and
+// a hot entry point (`hot_accumulate`, registered via --hot) that only
+// reads. aiac_lint must report nothing here.
+#include <mutex>
+#include <vector>
+
+#include "runtime/ordered_mutex.hpp"
+
+namespace fixture {
+
+aiac::runtime::OrderedMutex g_first(1);
+aiac::runtime::OrderedMutex g_second(2);
+
+double hot_accumulate(const std::vector<double>& samples) {
+  std::lock_guard<aiac::runtime::OrderedMutex> outer(g_first);
+  std::lock_guard<aiac::runtime::OrderedMutex> inner(g_second);
+  double total = 0.0;
+  for (double v : samples) total += v;
+  return total;
+}
+
+}  // namespace fixture

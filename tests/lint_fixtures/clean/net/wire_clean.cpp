@@ -1,0 +1,41 @@
+// Conforming wire fixture: fixed-width header fields, field-by-field
+// serialization, and an exhaustive FrameType (every value has a
+// begin_frame site and a parser case).
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+enum class FrameType : std::uint16_t {
+  kPing = 1,
+  kPong = 2,
+};
+
+struct FrameHeader {
+  std::uint16_t version;
+  std::uint16_t type;
+  std::uint32_t length;
+};
+
+std::size_t begin_frame(std::vector<std::uint8_t>& out, FrameType type);
+
+void encode_ping(std::vector<std::uint8_t>& out) {
+  begin_frame(out, FrameType::kPing);
+}
+
+void encode_pong(std::vector<std::uint8_t>& out) {
+  begin_frame(out, FrameType::kPong);
+}
+
+bool dispatch(FrameType type) {
+  switch (type) {
+    case FrameType::kPing:
+      return true;
+    case FrameType::kPong:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// Seeded violation for the alloc check: a hot entry point that
+// allocates directly (new-expression) and through a callee
+// (push_back). test_lint runs aiac_lint with
+// `--checks=alloc --no-default-registry --hot=hot_step` and expects
+// both sites reported with file:line. Fixtures are lexed, never
+// compiled, but are kept valid C++ so they read like real code.
+#include <vector>
+
+namespace fixture {
+
+void accumulate(std::vector<double>& samples, double v) {
+  samples.push_back(v);
+}
+
+double* hot_step(std::vector<double>& samples, int n) {
+  accumulate(samples, 1.0);
+  return new double[static_cast<unsigned>(n)];
+}
+
+}  // namespace fixture

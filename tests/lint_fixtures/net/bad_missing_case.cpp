@@ -1,0 +1,33 @@
+// Seeded violation for the wire check's cross-TU exhaustiveness rule:
+// both FrameType values have serializers, but the dispatch switch only
+// handles kPing — kPong must be reported as having no parser case.
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+enum class FrameType : std::uint16_t {
+  kPing = 1,
+  kPong = 2,
+};
+
+std::size_t begin_frame(std::vector<std::uint8_t>& out, FrameType type);
+
+void encode_ping(std::vector<std::uint8_t>& out) {
+  begin_frame(out, FrameType::kPing);
+}
+
+void encode_pong(std::vector<std::uint8_t>& out) {
+  begin_frame(out, FrameType::kPong);
+}
+
+bool dispatch(FrameType type) {
+  switch (type) {
+    case FrameType::kPing:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace fixture

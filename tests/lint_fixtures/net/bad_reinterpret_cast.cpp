@@ -1,0 +1,16 @@
+// Seeded violation for the wire check: casting a struct's address to a
+// byte view, i.e. letting host layout and endianness reach the wire.
+#include <cstdint>
+
+namespace fixture {
+
+struct RawHeader {
+  std::uint32_t magic;
+  std::uint16_t version;
+};
+
+const unsigned char* as_bytes(const RawHeader& header) {
+  return reinterpret_cast<const unsigned char*>(&header);
+}
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Seeded violation for the wire check's fixed-width rule: `unsigned`
+// and `int` members in a wire struct (file named wire_*) whose sizes
+// depend on the host ABI. The `unsigned char` tag is exempt.
+namespace fixture {
+
+struct FrameHeader {
+  unsigned magic;
+  int payload_len;
+  unsigned char tag;
+};
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// Seeded violation for the lock check: two OrderedMutexes with literal
+// ranks acquired in descending order — the static mirror of the abort
+// runtime::OrderedMutex would raise on first execution.
+#include <mutex>
+
+#include "runtime/ordered_mutex.hpp"
+
+namespace fixture {
+
+aiac::runtime::OrderedMutex g_low(1);
+aiac::runtime::OrderedMutex g_high(2);
+int g_shared_value;
+
+int descending_acquire() {
+  std::lock_guard<aiac::runtime::OrderedMutex> outer(g_high);
+  std::lock_guard<aiac::runtime::OrderedMutex> inner(g_low);
+  return g_shared_value;
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Seeded violation for the lock check: raw std::mutex outside
+// src/runtime/. Both the declaration and the guard instantiation
+// mention std::mutex and each line must be reported.
+#include <mutex>
+
+namespace fixture {
+
+std::mutex g_table_mutex;
+int g_shared_value;
+
+int bump() {
+  std::lock_guard<std::mutex> lock(g_table_mutex);
+  return ++g_shared_value;
+}
+
+}  // namespace fixture

@@ -1,0 +1,212 @@
+// aiac_lint's own test suite (DESIGN.md §12): runs the built linter
+// binary against the seeded-violation fixtures in tests/lint_fixtures/
+// — one per check — asserting exact file:line reporting, runs it over
+// the conforming fixtures expecting silence, exercises the allowlist
+// (suppression, staleness, malformed entries), and finally self-checks
+// the real tree: the repository must lint clean with its shipped
+// allowlist. Paths come in via compile definitions (AIAC_LINT_BIN,
+// AIAC_LINT_FIXTURES, AIAC_LINT_REPO_ROOT).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr, interleaved
+};
+
+/// Runs the linter with `args`, capturing output and exit code.
+RunResult run_lint(const std::string& args) {
+  RunResult result;
+  const std::string cmd = std::string(AIAC_LINT_BIN) + " " + args + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return result;
+  char buf[4096];
+  while (std::fgets(buf, sizeof buf, pipe) != nullptr) result.output += buf;
+  const int status = pclose(pipe);
+  result.exit_code = WEXITSTATUS(status);
+  return result;
+}
+
+std::string fixture(const std::string& rel) {
+  return std::string(AIAC_LINT_FIXTURES) + "/" + rel;
+}
+
+// ---- Seeded violations: each fixture must be caught, with file:line ---
+
+TEST(LintFixtures, HotPathAllocationIsCaught) {
+  const auto r = run_lint("--checks=alloc --no-default-registry "
+                          "--hot=hot_step --file=" +
+                          fixture("hot_alloc.cpp"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  // Direct site in the entry point and a site one call edge away, each
+  // with the exact line and the reach chain.
+  EXPECT_NE(r.output.find("hot_alloc.cpp:17: [alloc] new-expression"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("hot_alloc.cpp:12: [alloc] growing-container "
+                          "call .push_back()"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("via hot_step -> accumulate"), std::string::npos)
+      << r.output;
+}
+
+TEST(LintFixtures, RawMutexIsCaught) {
+  const auto r =
+      run_lint("--checks=lock --file=" + fixture("raw_mutex.cpp"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("raw_mutex.cpp:8: [lock] raw std::mutex"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("raw_mutex.cpp:12: [lock] raw std::mutex"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("(in fixture::bump)"), std::string::npos)
+      << r.output;
+}
+
+TEST(LintFixtures, RankInversionIsCaught) {
+  const auto r =
+      run_lint("--checks=lock --file=" + fixture("rank_inversion.cpp"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(
+      r.output.find("rank_inversion.cpp:14: [lock] lock-order inversion: "
+                    "acquiring 'g_low' (rank 1) while holding 'g_high' "
+                    "(rank 2)"),
+      std::string::npos)
+      << r.output;
+}
+
+TEST(LintFixtures, BlockingCallUnderLockIsCaught) {
+  const auto r = run_lint("--checks=lock --file=" +
+                          fixture("blocking_under_lock.cpp"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("blocking_under_lock.cpp:15: [lock] blocking "
+                          "call .wait() while holding OrderedMutex "
+                          "g_mutex (rank 3)"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(LintFixtures, StructReinterpretCastIsCaught) {
+  const auto r = run_lint("--checks=wire --file=" +
+                          fixture("net/bad_reinterpret_cast.cpp"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("bad_reinterpret_cast.cpp:13: [wire] "
+                          "reinterpret_cast of an object's address"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(LintFixtures, MissingFrameTypeParserCaseIsCaught) {
+  const auto r = run_lint("--checks=wire --file=" +
+                          fixture("net/bad_missing_case.cpp"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("FrameType::kPong has no parser case"),
+            std::string::npos)
+      << r.output;
+  // kPing is fully covered and must NOT be reported.
+  EXPECT_EQ(r.output.find("kPing"), std::string::npos) << r.output;
+}
+
+TEST(LintFixtures, NonFixedWidthWireFieldIsCaught) {
+  const auto r = run_lint("--checks=wire --file=" +
+                          fixture("net/wire_bad_field.cpp"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("wire_bad_field.cpp:7: [wire] non-fixed-width "
+                          "integer `unsigned`"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("wire_bad_field.cpp:8: [wire] non-fixed-width "
+                          "integer `int`"),
+            std::string::npos)
+      << r.output;
+  // `unsigned char tag` is a byte type and must pass.
+  EXPECT_EQ(r.output.find("wire_bad_field.cpp:9:"), std::string::npos)
+      << r.output;
+}
+
+// ---- Conforming fixtures must be silent -------------------------------
+
+TEST(LintFixtures, CleanFixturesPassAllChecks) {
+  const auto r = run_lint("--no-default-registry --hot=hot_accumulate "
+                          "--file=" +
+                          fixture("clean/good_engine.cpp") + "," +
+                          fixture("clean/net/wire_clean.cpp"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("0 finding(s)"), std::string::npos) << r.output;
+}
+
+// ---- Allowlist behavior ------------------------------------------------
+
+TEST(LintAllowlist, SuppressesMatchingFindings) {
+  const std::string path = ::testing::TempDir() + "lint_allow_ok";
+  std::ofstream(path) << "alloc * fixture::* # fixture sites are exempt\n";
+  const auto r = run_lint("--checks=alloc --no-default-registry "
+                          "--hot=hot_step --allowlist=" +
+                          path + " --file=" + fixture("hot_alloc.cpp"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("2 allowlisted"), std::string::npos) << r.output;
+}
+
+TEST(LintAllowlist, StaleEntriesAreReported) {
+  const std::string path = ::testing::TempDir() + "lint_allow_stale";
+  std::ofstream(path)
+      << "alloc * fixture::* # fixture sites are exempt\n"
+      << "lock src/gone.cpp * # this file no longer exists\n";
+  const auto r = run_lint("--checks=alloc --no-default-registry "
+                          "--hot=hot_step --allowlist=" +
+                          path + " --file=" + fixture("hot_alloc.cpp"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("stale allowlist entry"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("src/gone.cpp"), std::string::npos) << r.output;
+}
+
+TEST(LintAllowlist, MissingJustificationIsAConfigError) {
+  const std::string path = ::testing::TempDir() + "lint_allow_bad";
+  std::ofstream(path) << "alloc * fixture::*\n";
+  const auto r = run_lint("--checks=alloc --no-default-registry "
+                          "--hot=hot_step --allowlist=" +
+                          path + " --file=" + fixture("hot_alloc.cpp"));
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("missing justification"), std::string::npos)
+      << r.output;
+}
+
+// ---- CLI contract ------------------------------------------------------
+
+TEST(LintCli, UnknownCheckIsAConfigError) {
+  const auto r = run_lint("--checks=spelling --file=" +
+                          fixture("clean/good_engine.cpp"));
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+}
+
+TEST(LintCli, StaleRegistryEntryIsReported) {
+  const auto r = run_lint("--checks=alloc --no-default-registry "
+                          "--hot=no_such_function --file=" +
+                          fixture("clean/good_engine.cpp"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("matches no function definition"),
+            std::string::npos)
+      << r.output;
+}
+
+// ---- The real tree must hold its own invariants ------------------------
+
+TEST(LintSelfCheck, RepositoryIsCleanUnderItsAllowlist) {
+  const auto r =
+      run_lint(std::string("--root=") + AIAC_LINT_REPO_ROOT);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  // Stale allowlist entries surface as warnings; fail on them here so
+  // exceptions cannot outlive the code they excuse.
+  EXPECT_EQ(r.output.find("stale allowlist entry"), std::string::npos)
+      << r.output;
+}
+
+}  // namespace

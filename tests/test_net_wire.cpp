@@ -161,6 +161,133 @@ TEST(NetWireGolden, ControlLayout) {
                          bytes.begin() + kFrameHeaderBytes));
 }
 
+// Independent little-endian reference encoding: the goldens below pin
+// field order and widths against these shifts, not against WireWriter.
+void ref_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ref_f64(std::vector<std::uint8_t>& out, double v) {
+  ref_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+TEST(NetWireGolden, TokenRequestLayout) {
+  std::vector<std::uint8_t> bytes;
+  encode_empty(FrameType::kTokenRequest, bytes);
+  ASSERT_EQ(bytes.size(), kFrameHeaderBytes);
+  EXPECT_EQ(bytes[6], 0x06);  // FrameType::kTokenRequest
+  EXPECT_EQ(bytes[7], 0x00);
+  EXPECT_EQ(bytes[8], 0x00);  // payload length 0
+  std::uint32_t stored = 0;
+  std::memcpy(&stored, bytes.data() + 12, 4);
+  EXPECT_EQ(stored, crc32_update(0, {bytes.data() + 4, 8}));
+}
+
+TEST(NetWireGolden, GoodbyeLayout) {
+  std::vector<std::uint8_t> bytes;
+  encode_goodbye(/*failed=*/true, bytes);
+  ASSERT_EQ(bytes.size(), kFrameHeaderBytes + 1);
+  EXPECT_EQ(bytes[6], static_cast<std::uint8_t>(FrameType::kGoodbye));
+  EXPECT_EQ(bytes[kFrameHeaderBytes], 0x01);  // failed flag
+}
+
+TEST(NetWireGolden, WorkerResultLayout) {
+  WorkerResult result;
+  result.rank = 2;
+  result.converged = true;
+  result.failure_reason = "x";
+  result.iterations = 3;
+  result.first = 4;
+  result.count = 1;
+  result.points = 2;
+  result.last_residual = 1.0;
+  result.total_work = 2.0;
+  result.data_messages = 5;
+  result.control_messages = 6;
+  result.bytes_sent = 7;
+  result.migrations_out = 8;
+  result.components_out = 9;
+  result.min_components_seen = 10;
+  result.detection_max_residual = 0.5;
+  result.max_pending_disturbance = -2.0;
+  result.rows = {1.0, 2.0};
+  std::vector<std::uint8_t> bytes;
+  encode_worker_result(result, bytes);
+
+  std::vector<std::uint8_t> expected;
+  ref_u64(expected, 2);    // rank
+  expected.push_back(1);   // converged
+  ref_u64(expected, 1);    // failure_reason length
+  expected.push_back('x');
+  ref_u64(expected, 3);    // iterations
+  ref_u64(expected, 4);    // first
+  ref_u64(expected, 1);    // count
+  ref_u64(expected, 2);    // points
+  ref_f64(expected, 1.0);  // last_residual
+  ref_f64(expected, 2.0);  // total_work
+  ref_u64(expected, 5);    // data_messages
+  ref_u64(expected, 6);    // control_messages
+  ref_u64(expected, 7);    // bytes_sent
+  ref_u64(expected, 8);    // migrations_out
+  ref_u64(expected, 9);    // components_out
+  ref_u64(expected, 10);   // min_components_seen
+  ref_f64(expected, 0.5);  // detection_max_residual
+  ref_f64(expected, -2.0); // max_pending_disturbance
+  ref_f64(expected, 1.0);  // rows, row-major
+  ref_f64(expected, 2.0);
+  ASSERT_EQ(bytes.size(), kFrameHeaderBytes + expected.size());
+  EXPECT_EQ(bytes[6], static_cast<std::uint8_t>(FrameType::kWorkerResult));
+  EXPECT_TRUE(std::equal(expected.begin(), expected.end(),
+                         bytes.begin() + kFrameHeaderBytes));
+}
+
+TEST(NetWireGolden, TraceMessagesLayout) {
+  std::vector<trace::MessageRecord> records(1);
+  records[0].src = 1;
+  records[0].dst = 2;
+  records[0].send_time = 0.5;
+  records[0].receive_time = 1.0;
+  records[0].bytes = 3;
+  records[0].kind = trace::MessageKind::kControl;
+  std::vector<std::uint8_t> bytes;
+  encode_trace_messages(records, bytes);
+
+  std::vector<std::uint8_t> expected;
+  ref_u64(expected, 1);    // record count
+  ref_u64(expected, 1);    // src
+  ref_u64(expected, 2);    // dst
+  ref_f64(expected, 0.5);  // send_time
+  ref_f64(expected, 1.0);  // receive_time
+  ref_u64(expected, 3);    // bytes
+  expected.push_back(2);   // MessageKind::kControl
+  ASSERT_EQ(bytes.size(), kFrameHeaderBytes + expected.size());
+  EXPECT_EQ(bytes[6], static_cast<std::uint8_t>(FrameType::kTraceMessages));
+  EXPECT_TRUE(std::equal(expected.begin(), expected.end(),
+                         bytes.begin() + kFrameHeaderBytes));
+}
+
+TEST(NetWireGolden, TraceMigrationsLayout) {
+  std::vector<trace::MigrationRecord> records(1);
+  records[0].src = 1;
+  records[0].dst = 0;
+  records[0].time = 2.0;
+  records[0].components = 4;
+  std::vector<std::uint8_t> bytes;
+  encode_trace_migrations(records, bytes);
+
+  std::vector<std::uint8_t> expected;
+  ref_u64(expected, 1);    // record count
+  ref_u64(expected, 1);    // src
+  ref_u64(expected, 0);    // dst
+  ref_f64(expected, 2.0);  // time
+  ref_u64(expected, 4);    // components
+  ASSERT_EQ(bytes.size(), kFrameHeaderBytes + expected.size());
+  EXPECT_EQ(bytes[6], static_cast<std::uint8_t>(FrameType::kTraceMigrations));
+  EXPECT_TRUE(std::equal(expected.begin(), expected.end(),
+                         bytes.begin() + kFrameHeaderBytes));
+}
+
 // ---- Round-trip fuzz ---------------------------------------------------
 
 ode::BoundaryMessage random_boundary(std::mt19937_64& rng) {
