@@ -1,39 +1,55 @@
 #!/usr/bin/env bash
-# Refreshes the checked-in kernel benchmark baseline.
+# Refreshes or checks the checked-in kernel benchmark baseline.
 #
-#   scripts/bench.sh               # full sweep -> BENCH_kernels.json
-#   scripts/bench.sh --quick       # reduced sweep (CI smoke settings)
-#   scripts/bench.sh --check       # full sweep, compare against the
-#                                  # checked-in baseline instead of
-#                                  # overwriting it
+#   scripts/bench.sh                 # full sweep -> BENCH_kernels.json
+#   scripts/bench.sh --quick         # reduced sweep (CI smoke settings)
+#   scripts/bench.sh --check         # full sweep, compare against the
+#                                    # checked-in baseline instead of
+#                                    # overwriting it; exits non-zero on
+#                                    # any regression
+#   scripts/bench.sh --check --quick # the CI smoke variant of --check
 #
-# Run on an otherwise idle machine; absolute nanoseconds are only
-# comparable on the machine class that produced the baseline (see
-# AIAC_BENCH_STRICT_NS in bench/bench_kernels.cpp). Build with
-# -DAIAC_NATIVE=ON for host-tuned numbers, but keep the checked-in
-# baseline from the portable build so CI can gate on it.
+# Regression gates in --check mode (see compare_against_baseline in
+# bench/bench_kernels.cpp): allocation counts and the speedup ratios are
+# hardware-normalized and always fail on a >25% regression. Raw
+# nanoseconds additionally fail on a >25% regression when
+# AIAC_BENCH_STRICT_NS=1 — --check turns that on by default because the
+# common use is same-machine before/after comparison; export
+# AIAC_BENCH_STRICT_NS=0 when checking against a baseline produced on a
+# different machine class.
+#
+# Run on an otherwise idle machine; build with -DAIAC_NATIVE=ON for
+# host-tuned numbers, but keep the checked-in baseline from the portable
+# build so CI can gate on it.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-mode="${1:-}"
+quick=0
+check=0
+for arg in "$@"; do
+  case "$arg" in
+    --quick) quick=1 ;;
+    --check) check=1 ;;
+    *)
+      echo "usage: scripts/bench.sh [--check] [--quick]" >&2
+      exit 2
+      ;;
+  esac
+done
 
 jobs=$(nproc)
 cmake -B build -S . >/dev/null
 cmake --build build -j"$jobs" --target bench_kernels
 
-case "$mode" in
-  --quick)
-    ./build/bench/bench_kernels --quick --out=BENCH_kernels.json
-    ;;
-  --check)
-    ./build/bench/bench_kernels --out=build/BENCH_kernels_check.json \
-      --baseline=BENCH_kernels.json
-    ;;
-  "")
-    ./build/bench/bench_kernels --out=BENCH_kernels.json
-    ;;
-  *)
-    echo "usage: scripts/bench.sh [--quick|--check]" >&2
-    exit 2
-    ;;
-esac
+quick_flag=""
+[ "$quick" = 1 ] && quick_flag="--quick"
+
+if [ "$check" = 1 ]; then
+  # Same-machine ns gating on unless the caller says otherwise.
+  export AIAC_BENCH_STRICT_NS="${AIAC_BENCH_STRICT_NS-1}"
+  ./build/bench/bench_kernels $quick_flag \
+    --out=build/BENCH_kernels_check.json \
+    --baseline=BENCH_kernels.json
+else
+  ./build/bench/bench_kernels $quick_flag --out=BENCH_kernels.json
+fi

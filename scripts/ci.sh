@@ -51,7 +51,7 @@ tsan() {
   AIAC_CHAOS_SEEDS="${AIAC_CHAOS_SEEDS:-25}" \
   AIAC_CHECK_SCHEDULES="${AIAC_CHECK_SCHEDULES:-200}" \
   TSAN_OPTIONS="halt_on_error=1" \
-    ctest --test-dir build-tsan -L 'chaos|runtime|algo|check' \
+    ctest --test-dir build-tsan -L 'chaos|runtime|algo|check|pool' \
       --output-on-failure
 }
 
@@ -62,7 +62,7 @@ asan() {
   AIAC_CHAOS_SEEDS="${AIAC_CHAOS_SEEDS:-25}" \
   AIAC_CHECK_SCHEDULES="${AIAC_CHECK_SCHEDULES:-200}" \
   ASAN_OPTIONS="detect_leaks=1" UBSAN_OPTIONS="halt_on_error=1" \
-    ctest --test-dir build-asan -L 'chaos|runtime|algo|check|net' \
+    ctest --test-dir build-asan -L 'chaos|runtime|algo|check|net|pool' \
       --output-on-failure
 }
 
@@ -76,7 +76,7 @@ ubsan() {
   cmake --build build-ubsan -j"$jobs"
   AIAC_CHECK_SCHEDULES="${AIAC_CHECK_SCHEDULES:-200}" \
   UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
-    ctest --test-dir build-ubsan -L 'algo|net|check' --output-on-failure
+    ctest --test-dir build-ubsan -L 'algo|net|check|pool' --output-on-failure
 }
 
 lint() {
@@ -108,14 +108,14 @@ lint() {
 
 bench_smoke() {
   echo "==> bench-smoke: quick kernel bench vs checked-in baseline"
-  cmake -B build -S . >/dev/null
-  cmake --build build -j"$jobs" --target bench_kernels
-  # Hardware-normalized metrics (allocs/step, chord/workspace speedup
-  # ratios) always gate; raw nanoseconds only gate when the runner class
-  # matches the baseline machine (AIAC_BENCH_STRICT_NS=1).
-  ./build/bench/bench_kernels --quick \
-    --out=build/BENCH_kernels_smoke.json \
-    --baseline=BENCH_kernels.json
+  # Delegates to scripts/bench.sh --check --quick. Hardware-normalized
+  # metrics (allocs/step, speedup ratios) always gate; raw nanoseconds
+  # only gate when the runner class matches the baseline machine, so CI
+  # defaults AIAC_BENCH_STRICT_NS off here — export AIAC_BENCH_STRICT_NS=1
+  # on runners of the baseline machine class (bench.sh --check outside CI
+  # defaults it on for same-machine before/after comparisons).
+  AIAC_BENCH_STRICT_NS="${AIAC_BENCH_STRICT_NS-0}" \
+    scripts/bench.sh --check --quick
 }
 
 case "$stage" in

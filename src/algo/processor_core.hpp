@@ -216,6 +216,14 @@ class ProcessorCore {
   std::size_t lb_bytes_out() const noexcept { return lb_bytes_out_; }
   const ode::WaveformBlock& block() const noexcept { return block_; }
 
+  /// Hands this core's block an intra-processor worker pool for its
+  /// sharded iterate (nullptr detaches). Drivers own the pools — thread
+  /// budgets depend on how many cores share the machine, which only the
+  /// driver knows. The pool must outlive the core or be detached first.
+  void set_worker_pool(runtime::WorkerPool* pool) noexcept {
+    block_.set_worker_pool(pool);
+  }
+
  private:
   std::size_t rank_;
   std::size_t processors_;
@@ -272,6 +280,11 @@ struct FleetConfig {
   ode::LocalSolveMode solve_mode = ode::LocalSolveMode::kBlockNewton;
   ode::NewtonOptions newton = {};
   double receive_filter = 0.0;
+  /// Chunk count for every core's sharded iterate (see
+  /// WaveformBlockConfig::intra_chunks — numerics only; worker pools are
+  /// attached separately by the driver via ProcessorCore::
+  /// set_worker_pool, since thread budgets are a driver concern).
+  std::size_t intra_chunks = 1;
 
   double tolerance = 1e-8;
   std::size_t persistence = 3;

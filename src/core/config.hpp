@@ -32,6 +32,15 @@ struct EngineConfig {
   double t_end = 10.0;
   ode::LocalSolveMode solve_mode = ode::LocalSolveMode::kBlockNewton;
   ode::NewtonOptions newton = {};
+  /// Intra-processor parallelism: each processor's iterate is sharded
+  /// into this many row chunks (a *numerics* parameter — the chunk count
+  /// alone determines the per-iterate values, see WaveformBlockConfig::
+  /// intra_chunks), and the driver attaches a runtime::WorkerPool whose
+  /// worker-thread count is capped against the machine so processors ×
+  /// intra_threads never oversubscribes hardware_concurrency (DESIGN.md
+  /// §13; on a saturated machine the chunks simply run inline, with
+  /// identical results). 1 = the classic serial iterate.
+  std::size_t intra_threads = 1;
 
   // Outer convergence.
   double tolerance = 1e-8;

@@ -8,11 +8,14 @@
 #include <stdexcept>
 #include <utility>
 
+#include <thread>
+
 #include "algo/detection.hpp"
 #include "algo/processor_core.hpp"
 #include "algo/runtime_ifaces.hpp"
 #include "algo/trace_sink.hpp"
 #include "des/simulator.hpp"
+#include "runtime/worker_pool.hpp"
 #include "util/log.hpp"
 
 namespace aiac::core {
@@ -55,7 +58,25 @@ class SimEngine final : public algo::Transport,
     fc.persistence = config.persistence;
     fc.estimator = config.estimator;
     fc.balancer = config.balancer;
+    fc.intra_chunks = config.intra_threads;
     fleet_ = std::make_unique<algo::CoreFleet>(system, fc);
+
+    // Intra-processor parallelism: the event loop runs one core at a
+    // time on this thread, so a single shared pool serves every core's
+    // chunk job. Workers are capped at hardware_concurrency - 1 (the
+    // dispatching thread participates); when the cap leaves no room the
+    // chunks run inline with identical results.
+    if (config.intra_threads > 1) {
+      const std::size_t hw = std::max<std::size_t>(
+          1, std::thread::hardware_concurrency());
+      const std::size_t workers =
+          std::min(config.intra_threads - 1, hw - 1);
+      if (workers > 0) {
+        intra_pool_ = std::make_unique<runtime::WorkerPool>(workers);
+        for (std::size_t p = 0; p < nprocs; ++p)
+          fleet_->core(p).set_worker_pool(intra_pool_.get());
+      }
+    }
 
     procs_.resize(nprocs);
     lb_link_busy_.assign(nprocs > 0 ? nprocs - 1 : 0, false);
@@ -480,6 +501,10 @@ class SimEngine final : public algo::Transport,
   trace::ExecutionTrace* trace_;
   des::Simulator sim_;
   std::unique_ptr<algo::CoreFleet> fleet_;
+  /// Shared intra-iterate worker pool (null when intra_threads <= 1 or
+  /// the machine has a single hardware thread). The event loop runs one
+  /// core's iterate at a time on this thread, so one pool serves all.
+  std::unique_ptr<runtime::WorkerPool> intra_pool_;
   std::unique_ptr<algo::DetectionProtocol> protocol_;
 
   std::vector<Proc> procs_;

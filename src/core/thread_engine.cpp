@@ -22,6 +22,7 @@
 #include "runtime/ordered_mutex.hpp"
 #include "runtime/notifier.hpp"
 #include "runtime/thread_team.hpp"
+#include "runtime/worker_pool.hpp"
 #include "trace/execution_trace.hpp"
 #include "util/log.hpp"
 
@@ -99,7 +100,32 @@ class ThreadEngine final : public algo::Transport,
     fc.persistence = config.persistence;
     fc.estimator = config.estimator;
     fc.balancer = config.balancer;
+    fc.intra_chunks = config.intra_threads;
     fleet_ = std::make_unique<algo::CoreFleet>(system, fc);
+
+    // Intra-processor parallelism: each processor thread gets its own
+    // pool (a core's iterate runs under its block mutex, so pools are
+    // never shared and pool workers take no engine locks). The worker
+    // count is capped at the hardware share left per processor thread —
+    // nprocs * (1 + workers) <= hardware_concurrency — so enabling
+    // intra_threads can never oversubscribe the machine; when the cap
+    // leaves no room the chunks run inline with identical results.
+    if (config.intra_threads > 1) {
+      const std::size_t hw = std::max<std::size_t>(
+          1, std::thread::hardware_concurrency());
+      const std::size_t share = hw / processors;
+      const std::size_t workers =
+          std::min(config.intra_threads - 1,
+                   share > 0 ? share - 1 : std::size_t{0});
+      if (workers > 0) {
+        intra_pools_.reserve(processors);
+        for (std::size_t p = 0; p < processors; ++p) {
+          intra_pools_.push_back(
+              std::make_unique<runtime::WorkerPool>(workers));
+          fleet_->core(p).set_worker_pool(intra_pools_.back().get());
+        }
+      }
+    }
 
     procs_ = std::vector<ThreadProc>(processors);
     // Lock-order ranks: detection mutex below every block mutex (a
@@ -560,6 +586,11 @@ class ThreadEngine final : public algo::Transport,
   /// internal mutex is a leaf (nothing is acquired while it is held), so
   /// it stays outside the OrderedMutex rank order.
   runtime::BufferPool pool_;
+  /// Per-processor intra-iterate worker pools (empty when intra_threads
+  /// <= 1 or the hardware share leaves no room for extra threads). Pools
+  /// are only dispatched from inside run(), whose threads are joined
+  /// before destruction, so teardown order vs. the fleet is immaterial.
+  std::vector<std::unique_ptr<runtime::WorkerPool>> intra_pools_;
   std::vector<ThreadProc> procs_;
   std::unique_ptr<std::atomic<bool>[]> lb_link_busy_;
   std::unique_ptr<algo::DetectionProtocol> protocol_;

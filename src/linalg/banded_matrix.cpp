@@ -1,7 +1,9 @@
 #include "linalg/banded_matrix.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 namespace aiac::linalg {
@@ -61,12 +63,72 @@ std::vector<double> BandedMatrix::to_dense() const {
   return dense;
 }
 
+namespace {
+
+// Fixed-bandwidth kl == ku == KL specializations of the factor/solve
+// loops below. The Newton systems are tridiagonal (stencil 1) or
+// pentadiagonal (stencil 2), so these cover the entire hot path. With
+// the stride and shift arithmetic compile-time constants and the row
+// pointers __restrict-qualified, the compiler fully unrolls the O(KL)
+// inner loops and keeps the active band rows in registers — the
+// per-element operations and their order are *identical* to the generic
+// loops, so the results are bitwise equal (the parity suites rely on
+// that).
+template <std::size_t KL>
+void factor_small_band(double* __restrict data, std::size_t n,
+                       double pivot_tolerance) {
+  constexpr std::size_t stride = 2 * KL + 1;
+  for (std::size_t k = 0; k < n; ++k) {
+    const double* __restrict row_k = data + k * stride;
+    const double pivot = row_k[KL];
+    if (std::abs(pivot) < pivot_tolerance)
+      throw std::runtime_error("banded LU: pivot below tolerance at row " +
+                               std::to_string(k));
+    const double inv_pivot = 1.0 / pivot;
+    const std::size_t r_hi = std::min(n - 1, k + KL);
+    for (std::size_t r = k + 1; r <= r_hi; ++r) {
+      double* __restrict row_r = data + r * stride;
+      const double factor = row_r[k + KL - r] * inv_pivot;
+      row_r[k + KL - r] = factor;
+      for (std::size_t c = k + 1; c <= r_hi; ++c)
+        row_r[c + KL - r] -= factor * row_k[c + KL - k];
+    }
+  }
+}
+
+template <std::size_t KL>
+void solve_small_band(const double* __restrict data, std::size_t n,
+                      double* __restrict b) {
+  constexpr std::size_t stride = 2 * KL + 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* __restrict row = data + i * stride;
+    const std::size_t j_lo = i > KL ? i - KL : 0;
+    double sum = b[i];
+    for (std::size_t j = j_lo; j < i; ++j) sum -= row[j + KL - i] * b[j];
+    b[i] = sum;
+  }
+  for (std::size_t ii = n; ii-- > 0;) {
+    const double* __restrict row = data + ii * stride;
+    const std::size_t j_hi = std::min(n - 1, ii + KL);
+    double sum = b[ii];
+    for (std::size_t j = ii + 1; j <= j_hi; ++j)
+      sum -= row[j + KL - ii] * b[j];
+    b[ii] = sum / row[KL];
+  }
+}
+
+}  // namespace
+
 void banded_lu_factor_in_place(BandedMatrix& a, double pivot_tolerance) {
   const std::size_t n = a.size();
   const std::size_t kl = a.lower_bandwidth();
   const std::size_t ku = a.upper_bandwidth();
   const std::size_t stride = a.row_stride();
   double* data = a.band_data().data();
+  if (kl == ku) {
+    if (kl == 1) return factor_small_band<1>(data, n, pivot_tolerance);
+    if (kl == 2) return factor_small_band<2>(data, n, pivot_tolerance);
+  }
   // Index arithmetic on the raw band storage (column c of row r sits at
   // slot c + kl - r, always >= 0 within the band) — the per-element
   // in_band branches of at()/ref() dominate the factorization cost at the
@@ -98,6 +160,10 @@ void banded_lu_solve_in_place(const BandedMatrix& lu, std::span<double> b) {
   const std::size_t ku = lu.upper_bandwidth();
   const std::size_t stride = lu.row_stride();
   const double* data = lu.band_data().data();
+  if (kl == ku) {
+    if (kl == 1) return solve_small_band<1>(data, n, b.data());
+    if (kl == 2) return solve_small_band<2>(data, n, b.data());
+  }
   // Forward substitution with the unit lower-triangular factor.
   for (std::size_t i = 0; i < n; ++i) {
     const double* row = data + i * stride;

@@ -114,7 +114,12 @@ const std::vector<std::string>& generic_callee_names() {
       "at",     "c_str", "length", "substr", "count",  "find",
       "get",    "reset", "swap",   "min",    "max",    "move",
       "forward", "first", "second", "capacity", "load", "store",
-      "to_string"};
+      "to_string",
+      // `run` matches every driver/engine/benchmark entry point in the
+      // repo; the pool dispatch path that actually matters on the hot
+      // side (WorkerPool::run, ::work_on, ::worker_loop) is therefore
+      // registered explicitly in default_hot_registry().
+      "run"};
   return kNames;
 }
 
@@ -192,6 +197,13 @@ std::vector<std::string> default_hot_registry() {
       // Allocation-free Newton workspace solves (PR 4).
       "scalar_implicit_euler_solve",
       "block_implicit_euler_step",
+      // Sharded iterate + intra-processor worker pool (PR 7). The pool
+      // entries are listed explicitly because `run` is on the generic
+      // callee stop-list above.
+      "WaveformBlock::iterate",
+      "WorkerPool::run",
+      "WorkerPool::work_on",
+      "WorkerPool::worker_loop",
       // Boundary/migration fill + extract on the waveform block.
       "WaveformBlock::boundary_for_left",
       "WaveformBlock::boundary_for_right",

@@ -14,14 +14,17 @@
 #include <cstring>
 #include <deque>
 #include <limits>
+#include <memory>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "algo/detection.hpp"
 #include "algo/processor_core.hpp"
 #include "net/wire.hpp"
 #include "runtime/buffer_pool.hpp"
+#include "runtime/worker_pool.hpp"
 
 namespace aiac::net {
 
@@ -64,7 +67,22 @@ algo::FleetConfig fleet_config(const core::EngineConfig& config,
   fc.persistence = config.persistence;
   fc.estimator = config.estimator;
   fc.balancer = config.balancer;
+  fc.intra_chunks = config.intra_threads;
   return fc;
+}
+
+/// Worker-thread count for one rank's intra-iterate pool. The socket
+/// backend forks all workers on this host, so each process gets an even
+/// share of the machine: processors * (1 + workers) never exceeds
+/// hardware_concurrency. 0 (run chunks inline) when there is no room.
+std::size_t intra_pool_workers(std::size_t intra_threads,
+                               std::size_t processors) {
+  if (intra_threads <= 1) return 0;
+  const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  const std::size_t share = processors > 0 ? hw / processors : hw;
+  return std::min(intra_threads - 1,
+                  share > 0 ? share - 1 : std::size_t{0});
 }
 
 /// Per-link migration-token state. One token exists per link, initially
@@ -99,6 +117,15 @@ class NetWorker final : public FrameSink,
         transport_(rank, processors, net.transport, byte_pool_, row_pool_,
                    *this),
         t0_(Clock::now()) {
+    // Attach an intra-iterate pool to this rank's core only: the other
+    // fleet cores exist for partition bookkeeping and never iterate in
+    // this process.
+    const std::size_t workers =
+        intra_pool_workers(config.intra_threads, processors);
+    if (workers > 0) {
+      intra_pool_ = std::make_unique<runtime::WorkerPool>(workers);
+      core_.set_worker_pool(intra_pool_.get());
+    }
     // The lower rank starts with each link's token.
     right_link_.hold_token = true;
     protocol_ = std::make_unique<algo::DetectionProtocol>(
@@ -567,6 +594,9 @@ class NetWorker final : public FrameSink,
   runtime::BufferPool row_pool_;
   algo::CoreFleet fleet_;
   algo::ProcessorCore& core_;
+  /// Intra-iterate worker pool for this rank's core (null when
+  /// intra_threads <= 1 or the per-process hardware share is 1).
+  std::unique_ptr<runtime::WorkerPool> intra_pool_;
   SocketTransport transport_;
   std::unique_ptr<algo::DetectionProtocol> protocol_;
   Clock::time_point t0_;

@@ -116,25 +116,48 @@ void Brusselator::rhs_range(std::size_t first, std::size_t count, double t,
   (void)t;
   const double c = diffusion_;
   const std::size_t n_grid = params_.grid_points;
-  for (std::size_t r = 0; r < count; ++r) {
-    // w[2 + d] = y_{j+d}; out-of-domain slots are zero and replaced by
-    // the Dirichlet boundary values below, as in rhs_component.
-    const double* w = y_ext.data() + r;
-    const std::size_t j = first + r;
-    const std::size_t i = j / 2;
-    if ((j % 2) == 0) {
-      const double u = w[2];
-      const double v = w[3];
-      const double u_left = i == 0 ? params_.u_boundary : w[0];
-      const double u_right = i + 1 == n_grid ? params_.u_boundary : w[4];
-      out[r] = 1.0 + u * u * v - 4.0 * u + c * (u_left - 2.0 * u + u_right);
-    } else {
-      const double v = w[2];
-      const double u = w[1];
-      const double v_left = i == 0 ? params_.v_boundary : w[0];
-      const double v_right = i + 1 == n_grid ? params_.v_boundary : w[4];
-      out[r] = 3.0 * u - u * u * v + c * (v_left - 2.0 * v + v_right);
-    }
+  // w[2 + d] = y_{j+d}; out-of-domain slots are zero and replaced by the
+  // Dirichlet boundary values, as in rhs_component. The loop is
+  // restructured from per-row `j % 2` branching into a stride-2 fused
+  // (u, v) pair body with a peeled odd-first head and an unpaired tail:
+  // the pair body is branch-free in the parity test, shares the u/v
+  // loads and the u*u*v product between the two rows, and keeps every
+  // access stride-1 so the compiler can vectorize it. Operation order
+  // matches the branchy form exactly (bitwise-identical output).
+  const double* __restrict y = y_ext.data();
+  double* __restrict o = out.data();
+  std::size_t r = 0;
+  if ((first % 2) != 0 && r < count) {  // leading v-row of a split pair
+    const double* w = y + r;
+    const std::size_t i = (first + r) / 2;
+    const double v = w[2];
+    const double u = w[1];
+    const double v_left = i == 0 ? params_.v_boundary : w[0];
+    const double v_right = i + 1 == n_grid ? params_.v_boundary : w[4];
+    o[r] = 3.0 * u - u * u * v + c * (v_left - 2.0 * v + v_right);
+    ++r;
+  }
+  for (; r + 1 < count; r += 2) {
+    const double* w = y + r;
+    const std::size_t i = (first + r) / 2;
+    const double u = w[2];
+    const double v = w[3];
+    const double u_left = i == 0 ? params_.u_boundary : w[0];
+    const double u_right = i + 1 == n_grid ? params_.u_boundary : w[4];
+    const double v_left = i == 0 ? params_.v_boundary : w[1];
+    const double v_right = i + 1 == n_grid ? params_.v_boundary : w[5];
+    const double uuv = u * u * v;
+    o[r] = 1.0 + uuv - 4.0 * u + c * (u_left - 2.0 * u + u_right);
+    o[r + 1] = 3.0 * u - uuv + c * (v_left - 2.0 * v + v_right);
+  }
+  if (r < count) {  // trailing u-row of a split pair
+    const double* w = y + r;
+    const std::size_t i = (first + r) / 2;
+    const double u = w[2];
+    const double v = w[3];
+    const double u_left = i == 0 ? params_.u_boundary : w[0];
+    const double u_right = i + 1 == n_grid ? params_.u_boundary : w[4];
+    o[r] = 1.0 + u * u * v - 4.0 * u + c * (u_left - 2.0 * u + u_right);
   }
 }
 
@@ -148,29 +171,60 @@ void Brusselator::jacobian_band_range(std::size_t first, std::size_t count,
   (void)t;
   const double c = diffusion_;
   const std::size_t n_grid = params_.grid_points;
-  for (std::size_t r = 0; r < count; ++r) {
-    const double* w = y_ext.data() + r;
-    double* band = band_rows.data() + r * 5;
-    const std::size_t j = first + r;
-    const std::size_t i = j / 2;
+  // Same peel/pair/tail restructure as rhs_range: the fused pair body
+  // writes both band rows (10 contiguous doubles) per grid point,
+  // sharing the u/v loads and the 2*u*v product, with operation order
+  // identical to the branchy form (bitwise-identical output).
+  const double* __restrict y = y_ext.data();
+  double* __restrict bands = band_rows.data();
+  std::size_t r = 0;
+  if ((first % 2) != 0 && r < count) {  // leading v-row of a split pair
+    const double* w = y + r;
+    double* band = bands + r * 5;
+    const std::size_t i = (first + r) / 2;
     const double cl = i == 0 ? 0.0 : c;
     const double cr = i + 1 == n_grid ? 0.0 : c;
-    if ((j % 2) == 0) {
-      const double u = w[2];
-      const double v = w[3];
-      band[0] = cl;                           // u_{i-1}
-      band[1] = 0.0;                          // v_{i-1}: no coupling
-      band[2] = 2.0 * u * v - 4.0 - 2.0 * c;  // u_i
-      band[3] = u * u;                        // v_i
-      band[4] = cr;                           // u_{i+1}
-    } else {
-      const double u = w[1];
-      band[0] = cl;                    // v_{i-1}
-      band[1] = 3.0 - 2.0 * u * w[2];  // u_i
-      band[2] = -u * u - 2.0 * c;      // v_i
-      band[3] = 0.0;                   // u_{i+1}: no coupling
-      band[4] = cr;                    // v_{i+1}
-    }
+    const double u = w[1];
+    band[0] = cl;                    // v_{i-1}
+    band[1] = 3.0 - 2.0 * u * w[2];  // u_i
+    band[2] = -u * u - 2.0 * c;      // v_i
+    band[3] = 0.0;                   // u_{i+1}: no coupling
+    band[4] = cr;                    // v_{i+1}
+    ++r;
+  }
+  for (; r + 1 < count; r += 2) {
+    const double* w = y + r;
+    double* band = bands + r * 5;
+    const std::size_t i = (first + r) / 2;
+    const double cl = i == 0 ? 0.0 : c;
+    const double cr = i + 1 == n_grid ? 0.0 : c;
+    const double u = w[2];
+    const double v = w[3];
+    const double uu = u * u;
+    band[0] = cl;                           // u_{i-1}
+    band[1] = 0.0;                          // v_{i-1}: no coupling
+    band[2] = 2.0 * u * v - 4.0 - 2.0 * c;  // u_i
+    band[3] = uu;                           // v_i
+    band[4] = cr;                           // u_{i+1}
+    band[5] = cl;                    // v_{i-1}
+    band[6] = 3.0 - 2.0 * u * v;     // u_i
+    band[7] = -uu - 2.0 * c;         // v_i
+    band[8] = 0.0;                   // u_{i+1}: no coupling
+    band[9] = cr;                    // v_{i+1}
+  }
+  if (r < count) {  // trailing u-row of a split pair
+    const double* w = y + r;
+    double* band = bands + r * 5;
+    const std::size_t i = (first + r) / 2;
+    const double cl = i == 0 ? 0.0 : c;
+    const double cr = i + 1 == n_grid ? 0.0 : c;
+    const double u = w[2];
+    const double v = w[3];
+    band[0] = cl;                           // u_{i-1}
+    band[1] = 0.0;                          // v_{i-1}: no coupling
+    band[2] = 2.0 * u * v - 4.0 - 2.0 * c;  // u_i
+    band[3] = u * u;                        // v_i
+    band[4] = cr;                           // u_{i+1}
   }
 }
 

@@ -52,6 +52,80 @@ void FisherKpp::jacobian_band_row(std::size_t j, double /*t*/,
   band[2] = j + 1 == dimension() ? 0.0 : diffusion_;
 }
 
+void FisherKpp::rhs_range(std::size_t first, std::size_t count, double /*t*/,
+                          std::span<const double> y_ext,
+                          std::span<double> out) const {
+  if (y_ext.size() != count + 2 || out.size() != count)
+    throw std::invalid_argument("FisherKpp::rhs_range: size mismatch");
+  const double d = diffusion_;
+  const double g = params_.growth;
+  const std::size_t dim = dimension();
+  const double* __restrict y = y_ext.data();
+  double* __restrict o = out.data();
+  // The Dirichlet boundary rows (global j == 0 burnt at 1, j == dim - 1
+  // unburnt at 0) are peeled so the interior loop is branch-free and
+  // stride-1. Expressions mirror rhs_component token for token — the
+  // boundary substitutes stay as named values, so results are bitwise
+  // identical to the componentwise default.
+  std::size_t r = 0;
+  std::size_t r_end = count;
+  if (first == 0 && count > 0) {
+    const double u = y[1];
+    const double u_left = 1.0;  // burnt boundary
+    const double u_right = dim == 1 ? 0.0 : y[2];
+    o[0] = d * (u_left - 2.0 * u + u_right) + g * u * (1.0 - u);
+    r = 1;
+  }
+  if (first + count == dim && r_end > r) {
+    --r_end;
+    const double u = y[r_end + 1];
+    const double u_left = y[r_end];  // j > 0 here: the left peel took j == 0
+    const double u_right = 0.0;      // unburnt boundary
+    o[r_end] = d * (u_left - 2.0 * u + u_right) + g * u * (1.0 - u);
+  }
+  for (; r < r_end; ++r) {
+    const double u = y[r + 1];
+    o[r] = d * (y[r] - 2.0 * u + y[r + 2]) + g * u * (1.0 - u);
+  }
+}
+
+void FisherKpp::jacobian_band_range(std::size_t first, std::size_t count,
+                                    double /*t*/,
+                                    std::span<const double> y_ext,
+                                    std::span<double> band_rows) const {
+  if (y_ext.size() != count + 2 || band_rows.size() != count * 3)
+    throw std::invalid_argument(
+        "FisherKpp::jacobian_band_range: size mismatch");
+  const double d = diffusion_;
+  const double g = params_.growth;
+  const std::size_t dim = dimension();
+  const double* __restrict y = y_ext.data();
+  double* __restrict bands = band_rows.data();
+  // Same peel structure as rhs_range; the interior writes are contiguous
+  // groups of three with only the center entry data-dependent.
+  std::size_t r = 0;
+  std::size_t r_end = count;
+  if (first == 0 && count > 0) {
+    bands[0] = 0.0;
+    bands[1] = -2.0 * d + g * (1.0 - 2.0 * y[1]);
+    bands[2] = dim == 1 ? 0.0 : d;
+    r = 1;
+  }
+  if (first + count == dim && r_end > r) {
+    --r_end;
+    double* band = bands + r_end * 3;
+    band[0] = d;  // j > 0 here: the left peel took j == 0
+    band[1] = -2.0 * d + g * (1.0 - 2.0 * y[r_end + 1]);
+    band[2] = 0.0;
+  }
+  for (; r < r_end; ++r) {
+    double* band = bands + r * 3;
+    band[0] = d;
+    band[1] = -2.0 * d + g * (1.0 - 2.0 * y[r + 1]);
+    band[2] = d;
+  }
+}
+
 void FisherKpp::initial_state(std::span<double> y) const {
   if (y.size() != dimension())
     throw std::invalid_argument("FisherKpp::initial_state: size mismatch");

@@ -48,6 +48,16 @@ class FisherKpp final : public OdeSystem {
   void jacobian_band_row(std::size_t j, double t,
                          std::span<const double> window,
                          std::span<double> band) const override;
+  /// Fused batched assembly (the block-mode hot path): boundary rows are
+  /// peeled so the interior loop is branch-free, stride-1, and
+  /// auto-vectorizable; values are bitwise identical to the
+  /// componentwise defaults.
+  void rhs_range(std::size_t first, std::size_t count, double t,
+                 std::span<const double> y_ext,
+                 std::span<double> out) const override;
+  void jacobian_band_range(std::size_t first, std::size_t count, double t,
+                           std::span<const double> y_ext,
+                           std::span<double> band_rows) const override;
   void initial_state(std::span<double> y) const override;
 
   /// Front position (x in [0,1]) of a state vector: the first grid point

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "runtime/worker_pool.hpp"
+
 namespace aiac::ode {
 
 WaveformBlock::WaveformBlock(const OdeSystem& system,
@@ -15,7 +17,8 @@ WaveformBlock::WaveformBlock(const OdeSystem& system,
       dt_(config.t_end / static_cast<double>(config.num_steps)),
       mode_(config.mode),
       newton_(config.newton),
-      receive_filter_(config.receive_filter) {
+      receive_filter_(config.receive_filter),
+      intra_chunks_(config.intra_chunks < 1 ? 1 : config.intra_chunks) {
   if (config.num_steps == 0)
     throw std::invalid_argument("WaveformBlock: num_steps == 0");
   if (count_ < stencil_)
@@ -44,11 +47,13 @@ WaveformBlock::WaveformBlock(const OdeSystem& system,
 
 void WaveformBlock::invalidate_fast_path() {
   fast_path_valid_ = false;
-  step_solved_.assign(num_steps_ + 1, false);
+  std::fill(step_solved_.begin(), step_solved_.end(),
+            static_cast<std::uint8_t>(0));
   // Migration changes the block under the solver: drop any chord-Newton
-  // factorization held for the old shape. (The solver would also notice
-  // the size change itself; invalidating here keeps the contract local.)
-  newton_ws_.invalidate_jacobian();
+  // factorization held for the old shape/partition. (The solver would
+  // also notice the size change itself; invalidating here keeps the
+  // contract local.)
+  for (ChunkState& cs : chunks_) cs.ws.invalidate_jacobian();
 }
 
 void WaveformBlock::refresh_ghost_snapshot() {
@@ -66,109 +71,271 @@ void WaveformBlock::refresh_ghost_snapshot() {
   fast_path_valid_ = true;
 }
 
-bool WaveformBlock::ghosts_unchanged_at(std::size_t step) const {
-  for (std::size_t g = 0; g < stencil_; ++g) {
-    if (old_.at(g, step) != ghost_snapshot_.at(g, step)) return false;
-    if (old_.at(stencil_ + count_ + g, step) !=
-        ghost_snapshot_.at(stencil_ + g, step))
-      return false;
+bool WaveformBlock::chunk_inputs_quiet(std::size_t lo, std::size_t hi,
+                                       std::size_t step) const {
+  const std::size_t pts = num_steps_ + 1;
+  // Left inputs: the outer ghost side if the chunk's window reaches it
+  // (compared whole-side against the snapshot — conservative when the
+  // chunk straddles the boundary, never unsound), plus any owned
+  // neighbor-chunk rows in [lo - s, lo).
+  if (lo < stencil_) {
+    for (std::size_t g = 0; g < stencil_; ++g)
+      if (old_.at(g, step) != ghost_snapshot_.at(g, step)) return false;
   }
+  for (std::size_t r = lo >= stencil_ ? lo - stencil_ : 0; r < lo; ++r)
+    if (row_changed_prev_[r * pts + step]) return false;
+  // Right inputs, symmetrically.
+  if (hi + stencil_ > count_) {
+    for (std::size_t g = 0; g < stencil_; ++g)
+      if (old_.at(stencil_ + count_ + g, step) !=
+          ghost_snapshot_.at(stencil_ + g, step))
+        return false;
+  }
+  const std::size_t right_end = hi + stencil_ < count_ ? hi + stencil_ : count_;
+  for (std::size_t r = hi; r < right_end; ++r)
+    if (row_changed_prev_[r * pts + step]) return false;
   return true;
 }
 
+void WaveformBlock::prepare_sweep() {
+  const std::size_t k = chunk_count();
+  const std::size_t pts = num_steps_ + 1;
+  if (chunks_.size() != k) {
+    chunks_.resize(k);  // cold: first iterate or count() shrank below k
+    fast_path_valid_ = false;
+  }
+  chunks_in_use_ = k;
+  if (step_solved_.size() != k * pts) {
+    step_solved_.assign(k * pts, 0);
+    fast_path_valid_ = false;
+  }
+  // Fixed partition derived from (count, k) alone: an even split with the
+  // remainder spread over the leading chunks. Serial and pooled runs see
+  // the same boundaries, which is half of the bitwise-parity argument
+  // (the other half is the chunk-ordered reduction in iterate()).
+  const std::size_t base = count_ / k;
+  const std::size_t extra = count_ % k;
+  std::size_t lo = 0;
+  for (std::size_t c = 0; c < k; ++c) {
+    ChunkState& cs = chunks_[c];
+    const std::size_t len = base + (c < extra ? 1 : 0);
+    cs.index = c;
+    cs.lo = lo;
+    cs.hi = lo + len;
+    cs.check_units = 0;
+    cs.iter_units = 0;
+    cs.skip_steps = 0;
+    cs.residual = 0.0;
+    cs.newton_iterations = 0;
+    cs.all_converged = true;
+    cs.wrote = false;
+    cs.error = nullptr;
+    lo += len;
+  }
+  if (mode_ == LocalSolveMode::kBlockNewton) {
+    if (row_changed_prev_.size() != count_ * pts) {
+      row_changed_prev_.assign(count_ * pts, 0);
+      fast_path_valid_ = false;
+    }
+    if (row_changed_cur_.size() != count_ * pts)
+      row_changed_cur_.assign(count_ * pts, 0);
+    else
+      std::fill(row_changed_cur_.begin(), row_changed_cur_.end(),
+                static_cast<std::uint8_t>(0));
+  }
+}
+
 WaveformBlock::IterationStats WaveformBlock::iterate() {
-  IterationStats stats = mode_ == LocalSolveMode::kBlockNewton
-                             ? iterate_block_mode()
-                             : iterate_scalar_mode();
-  stats.residual = new_.max_abs_diff_rows(old_, stencil_, count_);
+  prepare_sweep();
+  const bool block_mode = mode_ == LocalSolveMode::kBlockNewton;
+  // Each chunk task sweeps its whole time window in one go: it reads its
+  // own new_ rows (step - 1), old_ (frozen during the sweep), and the
+  // shared fast-path flags (read-only during the sweep); it writes its
+  // own new_ rows, its own row_changed_cur_ entries, and its ChunkState.
+  // All writes are disjoint across chunks, so no synchronization beyond
+  // the pool's own join is needed, and the result cannot depend on
+  // scheduling.
+  auto run_one = [this, block_mode](std::size_t c) {
+    ChunkState& cs = chunks_[c];
+    try {
+      if (block_mode)
+        sweep_chunk_block(cs);
+      else
+        sweep_chunk_scalar(cs);
+    } catch (...) {
+      cs.error = std::current_exception();
+    }
+  };
+  if (pool_ != nullptr && chunks_in_use_ > 1) {
+    pool_->run_tasks(chunks_in_use_, run_one);
+  } else {
+    for (std::size_t c = 0; c < chunks_in_use_; ++c) run_one(c);
+  }
+
+  // Failure path (cold): restore the owned-rows invariant new_ == old_
+  // that partial chunk writes may have broken, drop the fast path, and
+  // rethrow the first error in chunk order (deterministic).
+  bool failed = false;
+  for (std::size_t c = 0; c < chunks_in_use_; ++c)
+    if (chunks_[c].error) failed = true;
+  if (failed) {
+    for (std::size_t c = 0; c < chunks_in_use_; ++c) {
+      const ChunkState& cs = chunks_[c];
+      if (!cs.wrote) continue;
+      for (std::size_t r = cs.lo; r < cs.hi; ++r) {
+        auto src = old_.row(stencil_ + r);
+        auto dst = new_.row(stencil_ + r);
+        std::copy(src.begin(), src.end(), dst.begin());
+      }
+    }
+    invalidate_fast_path();
+    for (std::size_t c = 0; c < chunks_in_use_; ++c) {
+      if (chunks_[c].error) {
+        std::exception_ptr error = chunks_[c].error;
+        chunks_[c].error = nullptr;
+        std::rethrow_exception(error);
+      }
+    }
+  }
+
+  // Deterministic reduction in chunk order: integer sums and the max are
+  // folded left-to-right over chunk index, never in completion order.
+  // The work figure is computed once from the exact integer counters, so
+  // it is not only schedule-independent but chunk-count-independent —
+  // per-chunk double partial sums of the cost constants would not be.
+  IterationStats stats;
+  std::size_t check_units = 0;
+  std::size_t iter_units = 0;
+  std::size_t skip_steps = 0;
+  for (std::size_t c = 0; c < chunks_in_use_; ++c) {
+    const ChunkState& cs = chunks_[c];
+    check_units += cs.check_units;
+    iter_units += cs.iter_units;
+    skip_steps += cs.skip_steps;
+    stats.newton_iterations += cs.newton_iterations;
+    stats.all_converged &= cs.all_converged;
+    if (cs.residual > stats.residual) stats.residual = cs.residual;
+  }
+  stats.work = newton_.check_cost * static_cast<double>(check_units) +
+               static_cast<double>(iter_units) +
+               newton_.step_skip_cost * static_cast<double>(skip_steps);
   last_residual_ = stats.residual;
-  // "Copy Ynew in Yold" — owned rows only; ghost rows of Yold are updated
-  // by the receive handlers.
-  for (std::size_t r = 0; r < count_; ++r) {
-    auto src = new_.row(stencil_ + r);
-    auto dst = old_.row(stencil_ + r);
-    std::copy(src.begin(), src.end(), dst.begin());
+
+  if (block_mode) {
+    refresh_ghost_snapshot();
+    std::swap(row_changed_prev_, row_changed_cur_);
+  }
+
+  // "Copy Ynew in Yold" — but only chunks that executed at least one
+  // step wrote anything; a fully skipped chunk's new_ rows already equal
+  // old_'s by the invariant, so the converged steady state copies
+  // nothing. Ghost rows of Yold are updated by the receive handlers.
+  for (std::size_t c = 0; c < chunks_in_use_; ++c) {
+    const ChunkState& cs = chunks_[c];
+    if (!cs.wrote) continue;
+    for (std::size_t r = cs.lo; r < cs.hi; ++r) {
+      auto src = new_.row(stencil_ + r);
+      auto dst = old_.row(stencil_ + r);
+      std::copy(src.begin(), src.end(), dst.begin());
+    }
   }
   return stats;
 }
 
-WaveformBlock::IterationStats WaveformBlock::iterate_block_mode() {
-  IterationStats stats;
-  if (step_solved_.size() != num_steps_ + 1)
-    step_solved_.assign(num_steps_ + 1, false);
-  // Member staging buffers: no-ops once sized (resize only on migration).
-  if (y_prev_.size() != count_) y_prev_.resize(count_);
-  if (y_next_.size() != count_) y_next_.resize(count_);
-  if (ghost_left_.size() != stencil_) ghost_left_.resize(stencil_);
-  if (ghost_right_.size() != stencil_) ghost_right_.resize(stencil_);
+void WaveformBlock::sweep_chunk_block(ChunkState& cs) {
+  const std::size_t nb = cs.hi - cs.lo;
+  const std::size_t pts = num_steps_ + 1;
+  // Staging buffers: no-ops once sized (resize only after migration).
+  if (cs.y_prev.size() != nb) cs.y_prev.resize(nb);
+  if (cs.y_next.size() != nb) cs.y_next.resize(nb);
+  if (cs.ghost_left.size() != stencil_) cs.ghost_left.resize(stencil_);
+  if (cs.ghost_right.size() != stencil_) cs.ghost_right.resize(stencil_);
+  // The chunk solves global components [first_ + lo, first_ + hi) as its
+  // own little block; rows of neighboring chunks enter through the ghost
+  // spans exactly like a neighboring processor's rows would, read from
+  // the frozen old_ iterate (block-Jacobi at chunk granularity).
+  const std::size_t chunk_first = first_ + cs.lo;
+  std::uint8_t* const solved = step_solved_.data() + cs.index * pts;
   // Tracks whether the previous time step's output differs from the
-  // previous outer iterate (the input cascade of the fast path).
+  // previous outer iterate (the input cascade of the fast path). Only
+  // this chunk's own rows feed y_prev, so the cascade is chunk-local.
   bool prev_step_changed = false;
   for (std::size_t step = 1; step <= num_steps_; ++step) {
-    if (fast_path_valid_ && !prev_step_changed && step_solved_[step] &&
-        ghosts_unchanged_at(step)) {
+    if (fast_path_valid_ && !prev_step_changed && solved[step] != 0 &&
+        chunk_inputs_quiet(cs.lo, cs.hi, step)) {
       // Inputs bitwise identical to the previous iterate and that iterate
-      // solved this step to tolerance: the solution is unchanged.
-      for (std::size_t r = 0; r < count_; ++r)
-        new_.at(stencil_ + r, step) = old_.at(stencil_ + r, step);
-      stats.work += newton_.step_skip_cost;
+      // solved this step to tolerance: the solution is unchanged — and by
+      // the owned-rows invariant new_ already holds it. No copy.
+      cs.skip_steps += 1;
       continue;
     }
     const double t_next = dt_ * static_cast<double>(step);
-    for (std::size_t r = 0; r < count_; ++r) {
-      y_prev_[r] = new_.at(stencil_ + r, step - 1);
-      y_next_[r] = old_.at(stencil_ + r, step);  // warm start: old iterate
+    for (std::size_t r = 0; r < nb; ++r) {
+      cs.y_prev[r] = new_.at(stencil_ + cs.lo + r, step - 1);
+      // Warm start: old iterate.
+      cs.y_next[r] = old_.at(stencil_ + cs.lo + r, step);
     }
     for (std::size_t g = 0; g < stencil_; ++g) {
-      ghost_left_[g] = old_.at(g, step);
-      ghost_right_[g] = old_.at(stencil_ + count_ + g, step);
+      // Extended rows [lo - s, lo) and [hi, hi + s): for the leftmost /
+      // rightmost chunk these are the processor's ghost rows, otherwise
+      // the neighboring chunk's rows in old_.
+      cs.ghost_left[g] = old_.at(cs.lo + g, step);
+      cs.ghost_right[g] = old_.at(stencil_ + cs.hi + g, step);
     }
     const BlockSolveResult solve = block_implicit_euler_step(
-        *system_, first_, y_prev_, y_next_, ghost_left_, ghost_right_,
-        t_next, dt_, newton_, newton_ws_);
-    stats.newton_iterations += solve.newton_iterations;
-    stats.work += (newton_.check_cost +
-                   static_cast<double>(solve.newton_iterations)) *
-                  static_cast<double>(count_);
-    stats.all_converged &= solve.converged;
-    step_solved_[step] = solve.converged;
+        *system_, chunk_first, cs.y_prev, cs.y_next, cs.ghost_left,
+        cs.ghost_right, t_next, dt_, newton_, cs.ws);
+    cs.newton_iterations += solve.newton_iterations;
+    cs.check_units += nb;
+    cs.iter_units += solve.newton_iterations * nb;
+    cs.all_converged &= solve.converged;
+    solved[step] = solve.converged ? 1 : 0;
+    cs.wrote = true;
     bool changed = false;
-    for (std::size_t r = 0; r < count_; ++r) {
-      if (y_next_[r] != old_.at(stencil_ + r, step)) changed = true;
-      new_.at(stencil_ + r, step) = y_next_[r];
+    for (std::size_t r = 0; r < nb; ++r) {
+      const double prev = old_.at(stencil_ + cs.lo + r, step);
+      const double next = cs.y_next[r];
+      new_.at(stencil_ + cs.lo + r, step) = next;
+      if (next != prev) {
+        changed = true;
+        row_changed_cur_[(cs.lo + r) * pts + step] = 1;
+      }
+      const double diff = std::abs(next - prev);
+      if (diff > cs.residual) cs.residual = diff;
     }
     prev_step_changed = changed;
   }
-  refresh_ghost_snapshot();
-  return stats;
 }
 
-WaveformBlock::IterationStats WaveformBlock::iterate_scalar_mode() {
-  IterationStats stats;
+void WaveformBlock::sweep_chunk_scalar(ChunkState& cs) {
   const std::size_t w = 2 * stencil_ + 1;
-  if (window_.size() != w) window_.resize(w);
+  if (cs.window.size() != w) cs.window.resize(w);
   // Paper Algorithm 1 loop order: component outer, time inner; every
-  // neighboring component (local ones included) is read from Yold.
-  for (std::size_t r = 0; r < count_; ++r) {
+  // neighboring component (local ones included) is read from Yold, so
+  // rows are independent and any chunking is bitwise-invariant here.
+  for (std::size_t r = cs.lo; r < cs.hi; ++r) {
     const std::size_t j = first_ + r;
     for (std::size_t step = 1; step <= num_steps_; ++step) {
       const double t_next = dt_ * static_cast<double>(step);
       for (std::size_t slot = 0; slot < w; ++slot) {
         // Extended row of global component j + (slot - stencil_).
         const std::size_t row = r + slot;  // == (j+slot-s) - (first-s)
-        window_[slot] = old_.at(row, step);
+        cs.window[slot] = old_.at(row, step);
       }
       const double y_prev = new_.at(stencil_ + r, step - 1);
       const ScalarSolveResult solve = scalar_implicit_euler_solve(
-          *system_, j, y_prev, window_, t_next, dt_, newton_, newton_ws_);
+          *system_, j, y_prev, cs.window, t_next, dt_, newton_, cs.ws);
+      const double prev = old_.at(stencil_ + r, step);
       new_.at(stencil_ + r, step) = solve.value;
-      stats.newton_iterations += solve.iterations;
-      stats.work +=
-          newton_.check_cost + static_cast<double>(solve.iterations);
-      stats.all_converged &= solve.converged;
+      const double diff = std::abs(solve.value - prev);
+      if (diff > cs.residual) cs.residual = diff;
+      cs.newton_iterations += solve.iterations;
+      cs.check_units += 1;
+      cs.iter_units += solve.iterations;
+      cs.all_converged &= solve.converged;
     }
   }
-  return stats;
+  cs.wrote = cs.hi > cs.lo;
 }
 
 void WaveformBlock::boundary_for_left(BoundaryMessage& msg) const {

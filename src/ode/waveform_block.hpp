@@ -18,6 +18,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <exception>
 #include <span>
 #include <stdexcept>
 #include <vector>
@@ -25,6 +27,10 @@
 #include "ode/newton.hpp"
 #include "ode/ode_system.hpp"
 #include "ode/trajectory.hpp"
+
+namespace aiac::runtime {
+class WorkerPool;
+}
 
 namespace aiac::ode {
 
@@ -50,6 +56,15 @@ struct WaveformBlockConfig {
   /// stall, where iterations cost nearly nothing (see the fast path).
   /// 0 disables the filter. Must be well below the outer tolerance.
   double receive_filter = 0.0;
+  /// Number of contiguous row chunks the iterate is sharded into (the
+  /// intra-processor parallelism axis, see DESIGN.md §13). This is a
+  /// *numerics* parameter, not a thread count: chunk interfaces read the
+  /// previous outer iterate (block-Jacobi at chunk granularity), so any
+  /// value > 1 changes the per-iterate values in block mode (same fixed
+  /// point; scalar mode is chunk-invariant). A given chunk count produces
+  /// bitwise-identical results whether the chunks run serially or on a
+  /// WorkerPool. Clamped to [1, count].
+  std::size_t intra_chunks = 1;
 };
 
 /// Component rows in transit during a load-balancing migration.
@@ -121,11 +136,35 @@ class WaveformBlock {
     bool all_converged = true;    // every inner Newton solve converged
   };
 
-  /// One outer iteration over the whole time window.
+  /// One outer iteration over the whole time window. With
+  /// intra_chunks > 1 the owned rows are swept as independent chunk
+  /// tasks; attach a runtime::WorkerPool via set_worker_pool() to run
+  /// them on worker threads (results are bitwise identical either way).
   IterationStats iterate();
+
+  /// Attaches (or detaches, with nullptr) the worker pool used to run
+  /// chunk tasks. The block does not own the pool; the caller must keep
+  /// it alive across iterate() calls. A block without a pool runs its
+  /// chunks inline on the calling thread.
+  void set_worker_pool(runtime::WorkerPool* pool) noexcept { pool_ = pool; }
+
+  /// Configured chunk count (before clamping against count()).
+  std::size_t intra_chunks() const noexcept { return intra_chunks_; }
+  /// Chunk count the next iterate() will actually use.
+  std::size_t chunk_count() const noexcept {
+    return intra_chunks_ < 1 ? 1 : (intra_chunks_ > count_ ? count_
+                                                           : intra_chunks_);
+  }
 
   /// Residual of the most recent iterate() (0 before the first).
   double last_residual() const noexcept { return last_residual_; }
+
+  /// Discards the incremental skip state so the next iterate() re-solves
+  /// every step of every chunk (migrations and chunk-count changes do
+  /// this implicitly). Results are unchanged — only work is; benchmarks
+  /// and parity tests use it to time/compare full sweeps on a block that
+  /// has already converged.
+  void force_full_sweep() { invalidate_fast_path(); }
 
   /// Data this node must send to its neighbors after an iteration: its
   /// first (resp. last) `stencil` component trajectories.
@@ -192,13 +231,47 @@ class WaveformBlock {
   std::span<const double> owned_row(std::size_t local_index) const;
 
  private:
+  // Everything one chunk task needs, hoisted so a steady-state iterate()
+  // performs zero heap allocations (the tentpole property the alloc-free
+  // tests pin down): its own Newton workspace (the chord factorization
+  // for its rows, invalidated by migrations), per-step staging buffers,
+  // and the per-sweep outputs the caller reduces in chunk order after
+  // the join. Tasks touch only their own ChunkState plus disjoint new_
+  // rows, which is the whole data-race argument (DESIGN.md §13).
+  struct ChunkState {
+    std::size_t index = 0;
+    std::size_t lo = 0;  // owned-local row range [lo, hi)
+    std::size_t hi = 0;
+    NewtonWorkspace ws;
+    std::vector<double> y_prev;
+    std::vector<double> y_next;
+    std::vector<double> ghost_left;
+    std::vector<double> ghost_right;
+    std::vector<double> window;  // scalar-mode stencil staging
+    // Per-sweep outputs, reset by prepare_sweep(). Work is kept as exact
+    // integer counters (check/iteration units and skipped steps) and
+    // converted to the double work figure once during the reduction —
+    // per-chunk floating-point partial sums of the non-representable
+    // cost constants would make stats.work depend on the chunk count.
+    std::size_t check_units = 0;
+    std::size_t iter_units = 0;
+    std::size_t skip_steps = 0;
+    double residual = 0.0;
+    std::size_t newton_iterations = 0;
+    bool all_converged = true;
+    bool wrote = false;
+    std::exception_ptr error;
+  };
+
   std::size_t extended_rows() const noexcept { return count_ + 2 * stencil_; }
   void invalidate_fast_path();
   void refresh_ghost_snapshot();
-  bool ghosts_unchanged_at(std::size_t step) const;
   bool update_is_insignificant(const BoundaryMessage& msg, bool left) const;
-  IterationStats iterate_block_mode();
-  IterationStats iterate_scalar_mode();
+  void prepare_sweep();
+  void sweep_chunk_block(ChunkState& cs);
+  void sweep_chunk_scalar(ChunkState& cs);
+  bool chunk_inputs_quiet(std::size_t lo, std::size_t hi,
+                          std::size_t step) const;
 
   const OdeSystem* system_;
   std::size_t stencil_;
@@ -209,10 +282,17 @@ class WaveformBlock {
   LocalSolveMode mode_;
   NewtonOptions newton_;
   double receive_filter_ = 0.0;
+  std::size_t intra_chunks_ = 1;
   double last_residual_ = 0.0;
   // Extended layout: rows for global components
   // [first_ - stencil_, first_ + count_ + stencil_), clamped semantics at
   // the domain boundary (ghost rows exist but are never read there).
+  //
+  // Invariant between iterations: owned rows of new_ are bitwise equal to
+  // the owned rows of old_ (established by the constructor, maintained by
+  // the post-sweep copy-back and by absorb/extract mutating both). It is
+  // what lets a skipped chunk-step — and a chunk that skipped its whole
+  // sweep — avoid copying anything at all.
   Trajectory old_;
   Trajectory new_;
 
@@ -222,20 +302,18 @@ class WaveformBlock {
   // tolerance last time, is skipped at O(stencil) comparison cost. This
   // is what makes a fully converged block's iteration nearly free — the
   // workload-evolution effect the residual-driven balancing exploits.
+  // For interior chunk borders the "ghost inputs" are neighbor-chunk rows
+  // of old_; whether those moved in the previous sweep is tracked
+  // row-granularly in the double-buffered row_changed_ arrays.
   Trajectory ghost_snapshot_;       // 2*stencil rows: left ghosts, right ghosts
-  std::vector<bool> step_solved_;   // indexed by step, 0..num_steps
+  std::vector<std::uint8_t> step_solved_;  // [chunk * (num_steps+1) + step]
+  std::vector<std::uint8_t> row_changed_prev_;  // [row * (num_steps+1) + step]
+  std::vector<std::uint8_t> row_changed_cur_;
   bool fast_path_valid_ = false;
 
-  // Solver workspace and per-step staging buffers, hoisted here so a
-  // steady-state iterate() performs zero heap allocations (the tentpole
-  // property the alloc-free tests pin down). The workspace also holds the
-  // chord-Newton factorization, which migrations invalidate.
-  NewtonWorkspace newton_ws_;
-  std::vector<double> y_prev_;
-  std::vector<double> y_next_;
-  std::vector<double> ghost_left_;
-  std::vector<double> ghost_right_;
-  std::vector<double> window_;      // scalar-mode stencil staging
+  runtime::WorkerPool* pool_ = nullptr;  // not owned; may be null
+  std::vector<ChunkState> chunks_;
+  std::size_t chunks_in_use_ = 0;
 };
 
 }  // namespace aiac::ode

@@ -16,11 +16,24 @@ class ThreadTeam {
   ThreadTeam& operator=(const ThreadTeam&) = delete;
   ~ThreadTeam() { join(); }
 
-  /// Spawns `count` threads running body(rank).
-  void spawn(std::size_t count, const std::function<void(std::size_t)>& body) {
+  /// Spawns `count` threads running body(rank). Takes the body by value
+  /// so the callable (and whatever it captured) is copied once into the
+  /// call, then handed to the threads: the last thread moves from it
+  /// instead of taking the count-th copy. Strongly exception-safe: if a
+  /// spawn throws partway through, the already-started threads are
+  /// joined before the exception escapes, so a half-built team never
+  /// outlives the objects its body captured.
+  void spawn(std::size_t count, std::function<void(std::size_t)> body) {
+    if (count == 0) return;
     threads_.reserve(threads_.size() + count);
-    for (std::size_t rank = 0; rank < count; ++rank)
-      threads_.emplace_back(body, rank);
+    try {
+      for (std::size_t rank = 0; rank + 1 < count; ++rank)
+        threads_.emplace_back(body, rank);
+      threads_.emplace_back(std::move(body), count - 1);
+    } catch (...) {
+      join();
+      throw;
+    }
   }
 
   void join() {

@@ -1,0 +1,159 @@
+#include "runtime/worker_pool.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+namespace aiac::runtime {
+
+namespace {
+
+// Pause hint for busy-wait loops: keeps the spinning hyperthread from
+// starving its sibling and saves power, without giving up the timeslice.
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+// Busy-spin budget before parking on the Notifier. A chunk solve is a
+// few microseconds, so a short spin covers the common back-to-back
+// dispatch cadence; anything longer means the block is converged (skip
+// path) or the engine is between iterations, and parking is right.
+constexpr int kSpinIterations = 4096;
+
+constexpr std::chrono::milliseconds kParkTimeout{100};
+
+}  // namespace
+
+WorkerPool::WorkerPool(std::size_t workers)
+    : workers_(workers), lanes_(workers + 1) {
+  if (workers_ > 0)
+    team_.spawn(workers_, [this](std::size_t rank) { worker_loop(rank); });
+}
+
+WorkerPool::~WorkerPool() {
+  stop_.store(true, std::memory_order_release);
+  wake_.notify();
+  team_.join();
+}
+
+bool WorkerPool::try_claim(Lane& lane, std::uint32_t epoch,
+                           std::size_t& out_index) noexcept {
+  std::uint64_t cur = lane.state.load(std::memory_order_relaxed);
+  for (;;) {
+    if (static_cast<std::uint32_t>(cur >> 32) != epoch) return false;
+    const std::uint64_t next = (cur >> 16) & 0xffff;
+    const std::uint64_t end = cur & 0xffff;
+    if (next >= end) return false;
+    if (lane.state.compare_exchange_weak(cur, pack(epoch, next + 1, end),
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_relaxed)) {
+      out_index = static_cast<std::size_t>(next);
+      return true;
+    }
+  }
+}
+
+void WorkerPool::work_on(std::size_t home_lane, std::uint32_t epoch) {
+  // fn_/ctx_ are relaxed atomics: their stores are sequenced before the
+  // epoch_ release-store in run(), so the acquire-load of epoch_ that
+  // brought us here makes them visible. A straggler from an older epoch
+  // may load the *newer* job's fn/ctx, but it never calls them — every
+  // try_claim fails on the epoch tag first.
+  const TaskFn fn = fn_.load(std::memory_order_relaxed);
+  void* const ctx = ctx_.load(std::memory_order_relaxed);
+  const std::size_t nlanes = lanes_.size();
+  std::size_t executed = 0;
+  // Drain the home lane first, then steal from the others. One pass
+  // suffices: no producer adds tasks while a job is in flight, so a
+  // lane seen empty stays empty for this epoch.
+  for (std::size_t probe = 0; probe < nlanes; ++probe) {
+    Lane& lane = lanes_[(home_lane + probe) % nlanes];
+    std::size_t index = 0;
+    while (try_claim(lane, epoch, index)) {
+      fn(ctx, index);
+      ++executed;
+    }
+  }
+  if (executed > 0 &&
+      remaining_.fetch_sub(executed, std::memory_order_acq_rel) == executed)
+    done_.notify();
+}
+
+void WorkerPool::worker_loop(std::size_t rank) {
+  const std::size_t home = rank + 1;  // lane 0 belongs to the caller
+  std::uint32_t seen = epoch_.load(std::memory_order_acquire);
+  for (;;) {
+    std::uint32_t e = epoch_.load(std::memory_order_acquire);
+    if (e == seen && !stop_.load(std::memory_order_acquire)) {
+      int spins = 0;
+      while (e == seen && !stop_.load(std::memory_order_acquire)) {
+        if (++spins <= kSpinIterations) {
+          cpu_relax();
+        } else {
+          wake_.wait_for(kParkTimeout, [&] {
+            return epoch_.load(std::memory_order_acquire) != seen ||
+                   stop_.load(std::memory_order_acquire);
+          });
+        }
+        e = epoch_.load(std::memory_order_acquire);
+      }
+    }
+    if (stop_.load(std::memory_order_acquire)) return;
+    if (e != seen) {
+      seen = e;
+      work_on(home, e);
+    }
+  }
+}
+
+void WorkerPool::run(std::size_t count, TaskFn fn, void* ctx) {
+  if (count == 0) return;
+  if (count > kMaxTasks)
+    throw std::invalid_argument("WorkerPool::run: task count exceeds kMaxTasks");
+  if (workers_ == 0 || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(ctx, i);
+    return;
+  }
+  fn_.store(fn, std::memory_order_relaxed);
+  ctx_.store(ctx, std::memory_order_relaxed);
+  remaining_.store(count, std::memory_order_relaxed);
+  // Contiguous split of [0, count) across the lanes; a lane may get an
+  // empty range when count < lanes (stealing evens that out).
+  const std::size_t nlanes = lanes_.size();
+  const std::size_t base = count / nlanes;
+  const std::size_t extra = count % nlanes;
+  const std::uint32_t epoch = epoch_.load(std::memory_order_relaxed) + 1;
+  std::size_t start = 0;
+  for (std::size_t lane = 0; lane < nlanes; ++lane) {
+    const std::size_t len = base + (lane < extra ? 1 : 0);
+    lanes_[lane].state.store(pack(epoch, start, start + len),
+                             std::memory_order_relaxed);
+    start += len;
+  }
+  // Publish: the release-store pairs with the workers' acquire-loads,
+  // making the lane ranges and fn/ctx visible. (Epoch wraps after 2^32
+  // jobs; a stale claim would additionally need a worker parked across
+  // the entire wrap, so the tag is safe in practice.)
+  epoch_.store(epoch, std::memory_order_release);
+  wake_.notify();
+  work_on(0, epoch);
+  // The last fetch_sub in work_on (ours or a worker's) brings
+  // remaining_ to zero only after every task body has returned.
+  int spins = 0;
+  while (remaining_.load(std::memory_order_acquire) != 0) {
+    if (++spins <= kSpinIterations) {
+      cpu_relax();
+    } else {
+      done_.wait_for(kParkTimeout, [&] {
+        return remaining_.load(std::memory_order_acquire) == 0;
+      });
+    }
+  }
+}
+
+}  // namespace aiac::runtime

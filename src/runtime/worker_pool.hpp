@@ -1,0 +1,99 @@
+// Persistent intra-processor worker pool for the sharded waveform solve.
+//
+// A fixed-size team of threads executes the chunk tasks of one block's
+// iterate (see WaveformBlock::iterate and DESIGN.md §13). The pool is
+// built once per processor and reused for every dispatch, so the steady
+// state touches no heap: jobs are a plain function pointer + context,
+// per-lane claim cursors live in cache-line-padded atomics, and idle
+// workers busy-spin briefly before parking on a Notifier.
+//
+// Scheduling model: run(count, fn, ctx) splits [0, count) into one
+// contiguous range per lane (lane 0 is the calling thread, which
+// participates). Each participant drains its own lane first and then
+// steals from the others, so a straggling chunk is absorbed by whoever
+// finishes early. Scheduling order is deliberately *not* part of any
+// result: tasks must write disjoint state, and the caller reduces in
+// task-index order after run() returns.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "runtime/notifier.hpp"
+#include "runtime/thread_team.hpp"
+
+namespace aiac::runtime {
+
+class WorkerPool {
+ public:
+  /// Task entry point: called once per index in [0, count).
+  using TaskFn = void (*)(void* ctx, std::size_t index);
+
+  /// Largest task count a single run() accepts (lane cursors pack
+  /// epoch/next/end into one 64-bit word; chunk counts are tiny anyway).
+  static constexpr std::size_t kMaxTasks = 0xffff;
+
+  /// A pool with `workers` extra threads. 0 is valid and means run()
+  /// executes every task inline on the calling thread — the shape the
+  /// oversubscription policy produces on saturated machines, identical
+  /// results either way.
+  explicit WorkerPool(std::size_t workers);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  std::size_t workers() const noexcept { return workers_; }
+
+  /// Executes fn(ctx, i) for every i in [0, count), returning when all
+  /// have finished. The calling thread participates. Not reentrant: one
+  /// job at a time per pool. Allocation-free.
+  void run(std::size_t count, TaskFn fn, void* ctx);
+
+  /// Convenience wrapper dispatching a callable by reference (no
+  /// std::function, no allocation): f(i) for every i in [0, count).
+  template <typename F>
+  void run_tasks(std::size_t count, F&& f) {
+    using Fn = std::remove_reference_t<F>;
+    run(
+        count, [](void* ctx, std::size_t i) { (*static_cast<Fn*>(ctx))(i); },
+        const_cast<void*>(static_cast<const void*>(std::addressof(f))));
+  }
+
+ private:
+  // One claim cursor per lane, padded to its own cache line. The word
+  // packs (epoch << 32) | (next << 16) | end; a claim CAS only succeeds
+  // while the lane still belongs to the claimant's epoch, which is what
+  // makes a straggler from a previous job harmless: its claims fail by
+  // epoch mismatch instead of consuming the new job's indices.
+  struct alignas(64) Lane {
+    std::atomic<std::uint64_t> state{0};
+  };
+
+  static constexpr std::uint64_t pack(std::uint32_t epoch, std::uint64_t next,
+                                      std::uint64_t end) noexcept {
+    return (static_cast<std::uint64_t>(epoch) << 32) | (next << 16) | end;
+  }
+
+  bool try_claim(Lane& lane, std::uint32_t epoch,
+                 std::size_t& out_index) noexcept;
+  void work_on(std::size_t home_lane, std::uint32_t epoch);
+  void worker_loop(std::size_t rank);
+
+  std::size_t workers_ = 0;
+  std::vector<Lane> lanes_;  // workers_ + 1; lane 0 is the caller
+  std::atomic<std::uint32_t> epoch_{0};
+  std::atomic<std::size_t> remaining_{0};
+  std::atomic<TaskFn> fn_{nullptr};
+  std::atomic<void*> ctx_{nullptr};
+  std::atomic<bool> stop_{false};
+  Notifier wake_;  // workers park here between jobs
+  Notifier done_;  // the caller parks here waiting for completion
+  ThreadTeam team_;
+};
+
+}  // namespace aiac::runtime

@@ -12,6 +12,7 @@
 
 #include "ode/brusselator.hpp"
 #include "ode/waveform_block.hpp"
+#include "runtime/worker_pool.hpp"
 
 // ---- Counting allocator -------------------------------------------------
 namespace {
@@ -142,6 +143,36 @@ TEST(AllocFreeExchange, BoundaryFillAndAcceptAllocateNothing) {
     pair.right.accept_left_ghosts(pair.to_right);
   }
   EXPECT_EQ(allocs() - before, 0u);
+}
+
+// The parallel iterate: a chunked sweep dispatched to a worker pool must
+// stay allocation-free once warm — across the skip path, forced full
+// sweeps, and the boundary exchange — exactly like the serial one. The
+// pool itself allocates only at construction (threads, lane array).
+TEST(AllocFreeParallel, PooledChunkedIterateAllocatesNothing) {
+  runtime::WorkerPool pool(2);
+  ode::Brusselator::Params params;
+  params.grid_points = 16;
+  ode::Brusselator system(params);
+  auto config = BlockPair::make_config(0, system.dimension(),
+                                       ode::LocalSolveMode::kBlockNewton,
+                                       ode::JacobianReuse::kChordAcrossSteps);
+  config.intra_chunks = 3;
+  ode::WaveformBlock block(system, config);
+  block.set_worker_pool(&pool);
+  for (int warm = 0; warm < 8; ++warm) {
+    block.force_full_sweep();
+    block.iterate();
+  }
+
+  const std::uint64_t before = allocs();
+  for (int iter = 0; iter < 16; ++iter) {
+    block.force_full_sweep();
+    block.iterate();
+  }
+  for (int iter = 0; iter < 16; ++iter) block.iterate();  // skip path
+  EXPECT_EQ(allocs() - before, 0u)
+      << "pooled chunked iterations allocated on the heap";
 }
 
 INSTANTIATE_TEST_SUITE_P(
