@@ -1,0 +1,546 @@
+// Comms-path benchmark: the wire codec (full boundary frames vs. thinned
+// BoundaryDelta frames, scatter-gather encode with fused CRC), a loopback
+// socket round trip, and the bytes-on-wire ledger of the paper's fig5
+// workload with delta encoding on vs. off. Emits the machine-readable
+// BENCH_comms.json baseline (`--out`), and compares against a checked-in
+// baseline (`--baseline`, run by `scripts/ci.sh bench-comms`).
+//
+// Gate philosophy mirrors bench_kernels: deterministic metrics regress
+// hard — bytes per encoded frame (the wire layout itself) and the fig5
+// full/delta bytes-on-wire reduction, which the issue pins at >= 3x near
+// convergence. Raw nanoseconds (codec throughput, loopback RTT) only fail
+// under AIAC_BENCH_STRICT_NS=1, i.e. same-machine before/after runs.
+#include <unistd.h>
+
+#include <sys/socket.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/sim_engine.hpp"
+#include "grid/grid.hpp"
+#include "net/wire.hpp"
+#include "ode/boundary_delta.hpp"
+#include "ode/brusselator.hpp"
+#include "ode/waveform_block.hpp"
+#include "trace/execution_trace.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace aiac;
+using Clock = std::chrono::steady_clock;
+
+struct BenchResult {
+  std::string name;
+  double ns_per_frame = 0.0;
+  /// Exact wire footprint (header + payload) of one frame of this kind.
+  /// Deterministic, so the baseline comparison gates it hard.
+  std::size_t bytes_per_frame = 0;
+};
+
+/// Bytes-on-wire ledger of one fig5-style simulated run, delta encoding
+/// on vs. off (same solver, same virtual-time delay model — only the
+/// accounted payload differs, so the two runs are step-identical and
+/// their boundary messages pair up one-to-one).
+struct StageBytes {
+  std::size_t bytes_full = 0;
+  std::size_t bytes_delta = 0;
+  std::size_t messages = 0;
+
+  double reduction() const {
+    return bytes_delta > 0 ? static_cast<double>(bytes_full) /
+                                 static_cast<double>(bytes_delta)
+                           : 0.0;
+  }
+};
+
+/// The run split at two residual milestones: `early` while any processor
+/// is still above sqrt(tolerance), `approach` while above tolerance, and
+/// `tail` once every processor iterates below tolerance (local fixed
+/// points reached, the run is waiting on convergence detection — the
+/// "near convergence" regime the delta frames exist for).
+struct Fig5Bytes {
+  StageBytes total;
+  StageBytes early;
+  StageBytes approach;
+  StageBytes tail;
+};
+
+/// The shape every fig5 boundary send has: two ghost rows over the run's
+/// time grid (num_steps + 1 points). 728 bytes on the wire as a full
+/// frame; 88 as a quiet (no rows changed) delta.
+ode::BoundaryMessage fig5_boundary(std::size_t points) {
+  ode::BoundaryMessage msg;
+  msg.global_first = 62;
+  msg.row_count = 2;
+  msg.points = points;
+  msg.sender_iteration = 7;
+  msg.sender_components = 32;
+  msg.sender_residual = 3.5e-4;
+  msg.sender_load = 1.25;
+  msg.rows.resize(msg.row_count * msg.points);
+  for (std::size_t i = 0; i < msg.rows.size(); ++i)
+    msg.rows[i] = 1.0 + 0.001 * static_cast<double>(i);
+  return msg;
+}
+
+double time_loop(std::size_t iters, const auto& body) {
+  const auto t0 = Clock::now();
+  for (std::size_t i = 0; i < iters; ++i) body();
+  const double secs =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  return secs * 1e9 / static_cast<double>(iters);
+}
+
+// ---- Codec benches ------------------------------------------------------
+
+std::vector<BenchResult> run_codec_benches(std::size_t iters) {
+  std::vector<BenchResult> results;
+  const ode::BoundaryMessage full = fig5_boundary(/*points=*/41);
+
+  // Scatter-gather full-frame encode: header block + pooled payload with
+  // the CRC fused into the single encode pass (the transport's send path).
+  {
+    net::FrameHeaderArray header;
+    std::vector<std::uint8_t> payload;
+    BenchResult r;
+    r.name = "encode_full_sg";
+    r.ns_per_frame = time_loop(iters, [&] {
+      payload.clear();
+      net::encode_boundary_sg(full, header, payload);
+    });
+    r.bytes_per_frame = net::kFrameHeaderBytes + payload.size();
+    results.push_back(r);
+  }
+
+  // Full-frame decode into a persistent inbox (receive path: the rows
+  // vector keeps its capacity across frames).
+  {
+    std::vector<std::uint8_t> wire;
+    net::encode_boundary(full, wire);
+    const std::span<const std::uint8_t> payload(
+        wire.data() + net::kFrameHeaderBytes,
+        wire.size() - net::kFrameHeaderBytes);
+    ode::BoundaryMessage inbox;
+    BenchResult r;
+    r.name = "decode_full";
+    r.ns_per_frame = time_loop(iters, [&] {
+      if (!net::decode_boundary(payload, inbox))
+        std::abort();  // layout bug — never silently time garbage
+    });
+    r.bytes_per_frame = wire.size();
+    results.push_back(r);
+  }
+
+  // Quiet-link delta: plan against an unchanged baseline (every row
+  // suppressed) and scatter-gather-encode the empty patch. This is the
+  // steady-state near convergence, where the >= 3x wire saving lives.
+  {
+    ode::BoundaryDeltaSender::Config config;
+    config.threshold = 1e-8;
+    config.refresh_period = std::size_t{1} << 30;  // never force a rebase
+    ode::BoundaryDeltaSender planner(config);
+    ode::BoundaryDeltaMessage delta;
+    (void)planner.plan(full, delta);  // first send rebases (full)
+    net::FrameHeaderArray header;
+    std::vector<std::uint8_t> payload;
+    BenchResult r;
+    r.name = "encode_delta_quiet_sg";
+    r.ns_per_frame = time_loop(iters, [&] {
+      if (planner.plan(full, delta) != ode::BoundaryDeltaSender::Plan::kDelta)
+        std::abort();
+      payload.clear();
+      net::encode_boundary_delta_sg(delta, header, payload);
+    });
+    r.bytes_per_frame = net::kFrameHeaderBytes + payload.size();
+    results.push_back(r);
+  }
+
+  // Quiet-delta receive: validate + apply the patch to the inbox in
+  // place under the epoch rule.
+  {
+    ode::BoundaryDeltaSender planner;
+    ode::BoundaryDeltaMessage delta;
+    (void)planner.plan(full, delta);
+    ode::BoundaryMessage updated = full;
+    updated.sender_iteration = full.sender_iteration + 1;
+    if (planner.plan(updated, delta) != ode::BoundaryDeltaSender::Plan::kDelta)
+      std::abort();
+    std::vector<std::uint8_t> wire;
+    net::encode_boundary_delta(delta, wire);
+    const std::span<const std::uint8_t> payload(
+        wire.data() + net::kFrameHeaderBytes,
+        wire.size() - net::kFrameHeaderBytes);
+    ode::BoundaryMessage inbox = full;  // receiver's stored base frame
+    ode::BoundaryDeltaMessage scratch;
+    BenchResult r;
+    r.name = "decode_apply_delta_quiet";
+    r.ns_per_frame = time_loop(iters, [&] {
+      if (!net::decode_boundary_delta(payload, scratch)) std::abort();
+      if (!apply_boundary_delta(scratch, full.sender_iteration, inbox))
+        std::abort();
+      inbox.sender_iteration = full.sender_iteration;  // re-arm the epoch
+    });
+    r.bytes_per_frame = wire.size();
+    results.push_back(r);
+  }
+  return results;
+}
+
+// ---- Loopback round trip ------------------------------------------------
+
+void write_exact(int fd, const std::uint8_t* data, std::size_t n) {
+  std::size_t at = 0;
+  while (at < n) {
+    const ssize_t w = ::write(fd, data + at, n - at);
+    if (w <= 0) std::abort();
+    at += static_cast<std::size_t>(w);
+  }
+}
+
+void read_exact(int fd, std::uint8_t* data, std::size_t n) {
+  std::size_t at = 0;
+  while (at < n) {
+    const ssize_t r = ::read(fd, data + at, n - at);
+    if (r <= 0) std::abort();
+    at += static_cast<std::size_t>(r);
+  }
+}
+
+/// Ping-pongs one pre-encoded frame over a blocking AF_UNIX socketpair:
+/// the echo thread bounces every frame straight back, so one iteration is
+/// a full there-and-back of `wire` through the kernel socket layer.
+BenchResult run_loopback_rtt(const std::string& name,
+                             const std::vector<std::uint8_t>& wire,
+                             std::size_t iters) {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) std::abort();
+  std::thread echo([fd = fds[1], n = wire.size(), iters] {
+    std::vector<std::uint8_t> buffer(n);
+    for (std::size_t i = 0; i < iters; ++i) {
+      read_exact(fd, buffer.data(), n);
+      write_exact(fd, buffer.data(), n);
+    }
+  });
+  std::vector<std::uint8_t> back(wire.size());
+  BenchResult r;
+  r.name = name;
+  r.bytes_per_frame = wire.size();
+  r.ns_per_frame = time_loop(iters, [&] {
+    write_exact(fds[0], wire.data(), wire.size());
+    read_exact(fds[0], back.data(), back.size());
+  });
+  echo.join();
+  ::close(fds[0]);
+  ::close(fds[1]);
+  return r;
+}
+
+std::vector<BenchResult> run_loopback_benches(std::size_t iters) {
+  const ode::BoundaryMessage full = fig5_boundary(/*points=*/41);
+  std::vector<std::uint8_t> full_wire;
+  net::encode_boundary(full, full_wire);
+
+  ode::BoundaryDeltaSender planner;
+  ode::BoundaryDeltaMessage delta;
+  (void)planner.plan(full, delta);
+  if (planner.plan(full, delta) != ode::BoundaryDeltaSender::Plan::kDelta)
+    std::abort();
+  std::vector<std::uint8_t> delta_wire;
+  net::encode_boundary_delta(delta, delta_wire);
+
+  std::vector<BenchResult> results;
+  results.push_back(run_loopback_rtt("loopback_rtt_full", full_wire, iters));
+  results.push_back(
+      run_loopback_rtt("loopback_rtt_delta", delta_wire, iters));
+  return results;
+}
+
+// ---- fig5 bytes-on-wire -------------------------------------------------
+
+constexpr double kFig5Tolerance = 1e-6;
+
+void run_fig5(bool quick, bool delta_boundaries,
+              trace::ExecutionTrace& trace) {
+  ode::Brusselator::Params p;
+  p.grid_points = quick ? 48 : 96;
+  const ode::Brusselator system(p);
+  core::EngineConfig config;
+  config.scheme = core::Scheme::kAIAC;
+  config.num_steps = quick ? 20 : 40;
+  config.t_end = 10.0;
+  config.tolerance = kFig5Tolerance;
+  config.load_balancing = true;
+  config.solve_mode = ode::LocalSolveMode::kBlockNewton;
+  config.balancer.trigger_period = 2;
+  config.balancer.threshold_ratio = 1.5;
+  config.balancer.min_components = 3;
+  config.delta_boundaries = delta_boundaries;
+  // The paper's fig5 cluster at its default width: with 8 processes the
+  // convergence token has real distance to travel, so the run has an
+  // actual near-convergence regime (processors at their local fixed
+  // points, still sending while detection completes).
+  grid::HomogeneousClusterParams cluster;
+  cluster.processes = 8;
+  cluster.multi_user = false;
+  auto grid = grid::make_homogeneous_cluster(cluster);
+  const auto result = core::run_simulated(system, *grid, config, &trace);
+  if (!result.converged)
+    std::cerr << "warning: fig5 run (delta_boundaries="
+              << (delta_boundaries ? "on" : "off") << ") did not converge\n";
+}
+
+/// Virtual time after which every processor's recorded residual stays
+/// below `threshold` (max over ranks of the end of each rank's last
+/// iteration still above it).
+double settle_time(const trace::ExecutionTrace& trace, double threshold) {
+  double settled = 0.0;
+  for (const auto& it : trace.iterations())
+    if (it.residual > threshold) settled = std::max(settled, it.end);
+  return settled;
+}
+
+Fig5Bytes run_fig5_bytes(bool quick) {
+  trace::ExecutionTrace with_full, with_delta;
+  run_fig5(quick, /*delta_boundaries=*/false, with_full);
+  run_fig5(quick, /*delta_boundaries=*/true, with_delta);
+
+  // Delta accounting never feeds back into the virtual-time delay model,
+  // so both runs replay the identical message sequence; only the charged
+  // bytes differ. Pair the boundary-data streams up by position.
+  std::vector<const trace::MessageRecord*> full_msgs, delta_msgs;
+  for (const auto& m : with_full.messages())
+    if (m.kind == trace::MessageKind::kBoundaryData) full_msgs.push_back(&m);
+  for (const auto& m : with_delta.messages())
+    if (m.kind == trace::MessageKind::kBoundaryData) delta_msgs.push_back(&m);
+  if (full_msgs.size() != delta_msgs.size()) {
+    std::cerr << "bench_comms: fig5 runs diverged (" << full_msgs.size()
+              << " vs " << delta_msgs.size()
+              << " boundary messages) — delta accounting altered the "
+                 "dynamics\n";
+    std::exit(1);
+  }
+
+  const double t_approach = settle_time(with_delta, std::sqrt(kFig5Tolerance));
+  const double t_tail = settle_time(with_delta, kFig5Tolerance);
+  Fig5Bytes bytes;
+  for (std::size_t i = 0; i < full_msgs.size(); ++i) {
+    const auto& full = *full_msgs[i];
+    const auto& delta = *delta_msgs[i];
+    StageBytes& stage = full.send_time >= t_tail       ? bytes.tail
+                        : full.send_time >= t_approach ? bytes.approach
+                                                       : bytes.early;
+    for (StageBytes* s : {&bytes.total, &stage}) {
+      s->bytes_full += full.bytes;
+      s->bytes_delta += delta.bytes;
+      ++s->messages;
+    }
+  }
+  return bytes;
+}
+
+// ---- JSON emission and the baseline comparison --------------------------
+
+std::string fmt(double v) {
+  std::ostringstream out;
+  out << std::setprecision(6) << v;
+  return out.str();
+}
+
+void write_json(const std::string& path, bool quick,
+                const std::vector<BenchResult>& results,
+                const Fig5Bytes& fig5) {
+  std::ofstream out(path);
+  out << "{\n  \"schema\": \"aiac-bench-comms-v1\",\n";
+  out << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
+  out << "  \"benches\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    out << "    {\"name\": \"" << r.name << "\", \"ns_per_frame\": "
+        << fmt(r.ns_per_frame) << ", \"bytes_per_frame\": "
+        << r.bytes_per_frame << "}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"fig5_bytes\": [\n";
+  const std::pair<const char*, const StageBytes*> stages[] = {
+      {"fig5_total", &fig5.total},
+      {"fig5_early", &fig5.early},
+      {"fig5_approach", &fig5.approach},
+      {"fig5_near_convergence", &fig5.tail},
+  };
+  for (std::size_t i = 0; i < std::size(stages); ++i) {
+    const auto& [name, s] = stages[i];
+    out << "    {\"name\": \"" << name << "\", \"bytes_full\": "
+        << s->bytes_full << ", \"bytes_delta\": " << s->bytes_delta
+        << ", \"messages\": " << s->messages << ", \"reduction\": "
+        << fmt(s->reduction()) << "}"
+        << (i + 1 < std::size(stages) ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+/// Same minimal extractor bench_kernels uses: find the object tagged with
+/// `name`, read `field` out of it; NaN when the baseline lacks it.
+double extract_metric(const std::string& json, const std::string& name,
+                      const std::string& field) {
+  const std::string tag = "\"name\": \"" + name + "\"";
+  const auto at = json.find(tag);
+  if (at == std::string::npos) return std::nan("");
+  const auto end = json.find('}', at);
+  const std::string key = "\"" + field + "\": ";
+  const auto kat = json.find(key, at);
+  if (kat == std::string::npos || kat > end) return std::nan("");
+  return std::strtod(json.c_str() + kat + key.size(), nullptr);
+}
+
+int compare_against_baseline(const std::string& baseline_path, bool quick,
+                             const std::vector<BenchResult>& results,
+                             const Fig5Bytes& fig5) {
+  std::ifstream in(baseline_path);
+  if (!in) {
+    std::cerr << "bench_comms: cannot read baseline " << baseline_path
+              << "\n";
+    return 1;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string json = buf.str();
+  if (json.find("aiac-bench-comms-v1") == std::string::npos) {
+    std::cerr << "bench_comms: baseline has wrong schema\n";
+    return 1;
+  }
+  const char* strict_env = std::getenv("AIAC_BENCH_STRICT_NS");
+  const bool strict_ns = strict_env != nullptr &&
+                         std::string(strict_env) != "0" &&
+                         std::string(strict_env) != "";
+  const bool baseline_quick = json.find("\"quick\": true") != std::string::npos;
+  int regressions = 0;
+  constexpr double kMargin = 1.25;  // >25% worse fails
+
+  for (const auto& r : results) {
+    // The wire layout is deterministic: any growth in the encoded frame
+    // is a protocol change, not noise.
+    const double base_bytes = extract_metric(json, r.name, "bytes_per_frame");
+    if (!std::isnan(base_bytes) &&
+        static_cast<double>(r.bytes_per_frame) > base_bytes + 0.5) {
+      std::cerr << "REGRESSION " << r.name << ": bytes_per_frame "
+                << r.bytes_per_frame << " > baseline " << base_bytes << "\n";
+      ++regressions;
+    }
+    const double base_ns = extract_metric(json, r.name, "ns_per_frame");
+    if (!std::isnan(base_ns) && base_ns > 0.0 &&
+        r.ns_per_frame > base_ns * kMargin) {
+      if (strict_ns) {
+        std::cerr << "REGRESSION " << r.name << ": ns_per_frame "
+                  << r.ns_per_frame << " > baseline " << base_ns << " * "
+                  << kMargin << "\n";
+        ++regressions;
+      } else {
+        std::cerr << "note: " << r.name << " ns_per_frame " << r.ns_per_frame
+                  << " above baseline " << base_ns
+                  << " (ignored: AIAC_BENCH_STRICT_NS unset)\n";
+      }
+    }
+  }
+
+  // The issue's acceptance floor stands regardless of the baseline: near
+  // convergence (every processor at its local fixed point, the run
+  // waiting on detection) the fig5 workload must move >= 3x fewer
+  // boundary bytes with deltas on.
+  if (fig5.tail.reduction() < 3.0) {
+    std::cerr << "REGRESSION fig5_near_convergence: reduction "
+              << fig5.tail.reduction() << " < 3.0 (issue acceptance floor)\n";
+    ++regressions;
+  }
+  // Against the baseline's own per-stage reductions, but only when both
+  // runs used the same workload size (quick shrinks the problem, which
+  // shifts the ratios).
+  const std::pair<const char*, const StageBytes*> stages[] = {
+      {"fig5_total", &fig5.total},
+      {"fig5_near_convergence", &fig5.tail},
+  };
+  for (const auto& [name, s] : stages) {
+    const double base_reduction = extract_metric(json, name, "reduction");
+    if (quick != baseline_quick) {
+      std::cerr << "note: " << name << " reduction " << fmt(s->reduction())
+                << " not compared to baseline (quick-mode mismatch)\n";
+    } else if (!std::isnan(base_reduction) && base_reduction > 0.0 &&
+               s->reduction() < base_reduction / kMargin) {
+      std::cerr << "REGRESSION " << name << ": reduction " << s->reduction()
+                << " < baseline " << base_reduction << " / " << kMargin
+                << "\n";
+      ++regressions;
+    }
+  }
+  return regressions;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliParser cli(
+      "Comms-path benchmark (codec, loopback RTT, fig5 bytes-on-wire); "
+      "writes BENCH_comms.json");
+  cli.describe("quick", "reduced repetitions for the CI smoke stage", "off");
+  cli.describe("out", "output JSON path", "BENCH_comms.json");
+  cli.describe("baseline",
+               "compare against this baseline JSON; exit 1 on regression",
+               "");
+  cli.parse(argc, argv);
+  if (cli.help_requested()) {
+    std::cout << cli.help_text();
+    return 0;
+  }
+  const bool quick = cli.get_bool("quick");
+  const std::string out_path = cli.get_string("out", "BENCH_comms.json");
+  const std::size_t codec_iters = quick ? 20000 : 200000;
+  const std::size_t rtt_iters = quick ? 2000 : 20000;
+
+  std::vector<BenchResult> results = run_codec_benches(codec_iters);
+  for (auto& r : run_loopback_benches(rtt_iters)) results.push_back(r);
+  const Fig5Bytes fig5 = run_fig5_bytes(quick);
+
+  for (const auto& r : results)
+    std::cout << std::left << std::setw(28) << r.name << " "
+              << std::setw(12) << fmt(r.ns_per_frame) << " ns/frame  "
+              << r.bytes_per_frame << " bytes\n";
+  const std::pair<const char*, const StageBytes*> stages[] = {
+      {"fig5_total", &fig5.total},
+      {"fig5_early", &fig5.early},
+      {"fig5_approach", &fig5.approach},
+      {"fig5_near_convergence", &fig5.tail},
+  };
+  for (const auto& [name, s] : stages)
+    std::cout << std::left << std::setw(28) << name << " full="
+              << s->bytes_full << " delta=" << s->bytes_delta
+              << " reduction=" << fmt(s->reduction()) << "x ("
+              << s->messages << " msgs)\n";
+
+  write_json(out_path, quick, results, fig5);
+  std::cout << "wrote " << out_path << "\n";
+
+  const std::string baseline = cli.get_string("baseline", "");
+  if (!baseline.empty()) {
+    const int regressions =
+        compare_against_baseline(baseline, quick, results, fig5);
+    if (regressions > 0) {
+      std::cerr << regressions << " comms regression(s) vs " << baseline
+                << "\n";
+      return 1;
+    }
+    std::cout << "baseline check passed (" << baseline << ")\n";
+  }
+  return 0;
+}

@@ -1,45 +1,55 @@
 #!/usr/bin/env bash
-# Refreshes or checks the checked-in kernel benchmark baseline.
+# Refreshes or checks the checked-in benchmark baselines: the solver
+# kernel sweep (BENCH_kernels.json) and the comms path (BENCH_comms.json).
 #
-#   scripts/bench.sh                 # full sweep -> BENCH_kernels.json
-#   scripts/bench.sh --quick         # reduced sweep (CI smoke settings)
-#   scripts/bench.sh --check         # full sweep, compare against the
-#                                    # checked-in baseline instead of
-#                                    # overwriting it; exits non-zero on
+#   scripts/bench.sh                 # full sweeps -> BENCH_kernels.json
+#                                    #              + BENCH_comms.json
+#   scripts/bench.sh --quick         # reduced sweeps (CI smoke settings)
+#   scripts/bench.sh --check         # full sweeps, compare against the
+#                                    # checked-in baselines instead of
+#                                    # overwriting them; exits non-zero on
 #                                    # any regression
 #   scripts/bench.sh --check --quick # the CI smoke variant of --check
+#   scripts/bench.sh --only=kernels  # restrict to one benchmark binary
+#   scripts/bench.sh --only=comms    # (combinable with --check/--quick)
 #
-# Regression gates in --check mode (see compare_against_baseline in
-# bench/bench_kernels.cpp): allocation counts and the speedup ratios are
-# hardware-normalized and always fail on a >25% regression. Raw
-# nanoseconds additionally fail on a >25% regression when
-# AIAC_BENCH_STRICT_NS=1 — --check turns that on by default because the
-# common use is same-machine before/after comparison; export
-# AIAC_BENCH_STRICT_NS=0 when checking against a baseline produced on a
-# different machine class.
+# Regression gates in --check mode: hardware-normalized metrics always
+# fail on a >25% regression — allocation counts and speedup ratios for the
+# kernel bench (see compare_against_baseline in bench/bench_kernels.cpp),
+# bytes-per-frame and the fig5 bytes-on-wire reduction (floor 3x) for the
+# comms bench (bench/bench_comms.cpp). Raw nanoseconds additionally fail
+# on a >25% regression when AIAC_BENCH_STRICT_NS=1 — --check turns that on
+# by default because the common use is same-machine before/after
+# comparison; export AIAC_BENCH_STRICT_NS=0 when checking against a
+# baseline produced on a different machine class.
 #
 # Run on an otherwise idle machine; build with -DAIAC_NATIVE=ON for
-# host-tuned numbers, but keep the checked-in baseline from the portable
-# build so CI can gate on it.
+# host-tuned numbers, but keep the checked-in baselines from the portable
+# build so CI can gate on them.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 quick=0
 check=0
+only=""
 for arg in "$@"; do
   case "$arg" in
     --quick) quick=1 ;;
     --check) check=1 ;;
+    --only=kernels|--only=comms) only="${arg#--only=}" ;;
     *)
-      echo "usage: scripts/bench.sh [--check] [--quick]" >&2
+      echo "usage: scripts/bench.sh [--check] [--quick] [--only=kernels|comms]" >&2
       exit 2
       ;;
   esac
 done
 
 jobs=$(nproc)
+targets=()
+[ "$only" != "comms" ] && targets+=(bench_kernels)
+[ "$only" != "kernels" ] && targets+=(bench_comms)
 cmake -B build -S . >/dev/null
-cmake --build build -j"$jobs" --target bench_kernels
+cmake --build build -j"$jobs" --target "${targets[@]}"
 
 quick_flag=""
 [ "$quick" = 1 ] && quick_flag="--quick"
@@ -47,9 +57,19 @@ quick_flag=""
 if [ "$check" = 1 ]; then
   # Same-machine ns gating on unless the caller says otherwise.
   export AIAC_BENCH_STRICT_NS="${AIAC_BENCH_STRICT_NS-1}"
-  ./build/bench/bench_kernels $quick_flag \
-    --out=build/BENCH_kernels_check.json \
-    --baseline=BENCH_kernels.json
-else
-  ./build/bench/bench_kernels $quick_flag --out=BENCH_kernels.json
 fi
+
+run_bench() {  # run_bench <binary> <baseline-json>
+  local bin="$1" baseline="$2"
+  if [ "$check" = 1 ]; then
+    "./build/bench/$bin" $quick_flag \
+      --out="build/${baseline%.json}_check.json" \
+      --baseline="$baseline"
+  else
+    "./build/bench/$bin" $quick_flag --out="$baseline"
+  fi
+}
+
+[ "$only" != "comms" ] && run_bench bench_kernels BENCH_kernels.json
+[ "$only" != "kernels" ] && run_bench bench_comms BENCH_comms.json
+exit 0

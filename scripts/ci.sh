@@ -115,7 +115,18 @@ bench_smoke() {
   # on runners of the baseline machine class (bench.sh --check outside CI
   # defaults it on for same-machine before/after comparisons).
   AIAC_BENCH_STRICT_NS="${AIAC_BENCH_STRICT_NS-0}" \
-    scripts/bench.sh --check --quick
+    scripts/bench.sh --check --quick --only=kernels
+}
+
+bench_comms() {
+  echo "==> bench-comms: quick comms bench vs checked-in baseline"
+  # Gates the deterministic wire metrics on every runner: bytes per
+  # encoded frame (any growth is a protocol change) and the fig5
+  # bytes-on-wire reduction of delta encoding, which must stay >= 3x.
+  # Codec/loopback nanoseconds follow the same AIAC_BENCH_STRICT_NS rule
+  # as bench-smoke.
+  AIAC_BENCH_STRICT_NS="${AIAC_BENCH_STRICT_NS-0}" \
+    scripts/bench.sh --check --quick --only=comms
 }
 
 case "$stage" in
@@ -125,8 +136,9 @@ case "$stage" in
   ubsan) ubsan ;;
   lint) lint ;;
   bench-smoke) bench_smoke ;;
-  all) tier1; tsan; asan; ubsan; lint; bench_smoke ;;
-  *) echo "unknown stage: $stage (tier1|tsan|asan|ubsan|lint|bench-smoke|all)" >&2
+  bench-comms) bench_comms ;;
+  all) tier1; tsan; asan; ubsan; lint; bench_smoke; bench_comms ;;
+  *) echo "unknown stage: $stage (tier1|tsan|asan|ubsan|lint|bench-smoke|bench-comms|all)" >&2
      exit 2 ;;
 esac
 echo "==> ci: all requested stages green"

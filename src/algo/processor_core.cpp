@@ -26,19 +26,50 @@ void ProcessorCore::ingest_boundary(Side from,
   // Copy-assignment into persistent storage: when the inbox already holds
   // a (possibly unread) message of the same shape, the rows vector's
   // capacity is reused and the overwrite allocates nothing.
+  inbox_storage(from) = msg;
+  commit_inbox(from);
+}
+
+void ProcessorCore::commit_inbox(Side from) {
   if (from == Side::kLeft) {
-    inbox_left_ = msg;
     inbox_left_full_ = true;
     left_data_iteration_ =
-        std::max(left_data_iteration_, msg.sender_iteration);
-    left_load_ = msg.sender_load;
+        std::max(left_data_iteration_, inbox_left_.sender_iteration);
+    left_load_ = inbox_left_.sender_load;
+    left_inbox_epoch_ = inbox_left_.sender_iteration;
+    left_has_base_ = true;
   } else {
-    inbox_right_ = msg;
     inbox_right_full_ = true;
     right_data_iteration_ =
-        std::max(right_data_iteration_, msg.sender_iteration);
-    right_load_ = msg.sender_load;
+        std::max(right_data_iteration_, inbox_right_.sender_iteration);
+    right_load_ = inbox_right_.sender_load;
+    right_inbox_epoch_ = inbox_right_.sender_iteration;
+    right_has_base_ = true;
   }
+}
+
+bool ProcessorCore::ingest_boundary_delta(
+    Side from, const ode::BoundaryDeltaMessage& delta) {
+  const bool left = from == Side::kLeft;
+  if (!(left ? left_has_base_ : right_has_base_)) return false;
+  ode::BoundaryMessage& inbox = left ? inbox_left_ : inbox_right_;
+  if (!ode::apply_boundary_delta(
+          delta, left ? left_inbox_epoch_ : right_inbox_epoch_, inbox))
+    return false;
+  // Bookkeeping as for a full message, except the epoch: that stays at
+  // the baseline's stamp — deltas patch the base, they do not become one.
+  if (left) {
+    inbox_left_full_ = true;
+    left_data_iteration_ =
+        std::max(left_data_iteration_, delta.sender_iteration);
+    left_load_ = delta.sender_load;
+  } else {
+    inbox_right_full_ = true;
+    right_data_iteration_ =
+        std::max(right_data_iteration_, delta.sender_iteration);
+    right_load_ = delta.sender_load;
+  }
+  return true;
 }
 
 double ProcessorCore::pending_input_disturbance() const {

@@ -32,6 +32,7 @@
 #include "algo/types.hpp"
 #include "lb/balancer.hpp"
 #include "lb/estimators.hpp"
+#include "ode/boundary_delta.hpp"
 #include "ode/ode_system.hpp"
 #include "ode/waveform_block.hpp"
 
@@ -75,6 +76,29 @@ class ProcessorCore {
   /// neighbor load and iteration stamp immediately — synchronous schemes
   /// gate on data_iteration before the data itself is applied.
   void ingest_boundary(Side from, const ode::BoundaryMessage& msg);
+
+  /// Delta boundary delivery (DESIGN.md §14): patches the changed rows
+  /// into the side's persistent inbox, which still holds the link's last
+  /// full message (possibly already patched by earlier deltas of the same
+  /// epoch), then performs ingest_boundary's bookkeeping. Returns false —
+  /// inbox untouched — when no full message was ever ingested on that
+  /// side or the delta's epoch/shape disagrees with it; the sender's
+  /// forced full refresh resynchronizes such a link. The patched message
+  /// flows through the same receive filter and stale-residual rule as a
+  /// full one, so thinning never lets locally_converged() confirm on
+  /// unseen data.
+  bool ingest_boundary_delta(Side from,
+                             const ode::BoundaryDeltaMessage& delta);
+
+  /// Zero-copy ingest for drivers that parse wire payloads themselves:
+  /// decode directly into inbox_storage(side) — its rows capacity
+  /// persists across messages — then call commit_inbox(side) to apply
+  /// ingest_boundary's bookkeeping to the decoded contents. The reference
+  /// is invalidated by nothing short of core destruction.
+  ode::BoundaryMessage& inbox_storage(Side side) noexcept {
+    return side == Side::kLeft ? inbox_left_ : inbox_right_;
+  }
+  void commit_inbox(Side from);
 
   /// Migration payloads are a FIFO stream per side; they are absorbed in
   /// arrival order at the next begin_iteration.
@@ -252,6 +276,14 @@ class ProcessorCore {
   ode::BoundaryMessage inbox_right_;
   bool inbox_left_full_ = false;
   bool inbox_right_full_ = false;
+  // Delta-ingest base tracking: the sender-iteration stamp of the last
+  // full message per side (the delta epoch), and whether one ever
+  // arrived. The inbox storage itself is the receiver's baseline: rows a
+  // delta does not carry keep their last full-frame value in place.
+  std::size_t left_inbox_epoch_ = 0;
+  std::size_t right_inbox_epoch_ = 0;
+  bool left_has_base_ = false;
+  bool right_has_base_ = false;
   std::deque<ode::MigrationPayload> pending_from_left_;
   std::deque<ode::MigrationPayload> pending_from_right_;
   std::optional<double> left_load_;

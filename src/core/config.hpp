@@ -50,6 +50,25 @@ struct EngineConfig {
   /// not applied, letting converged regions stall exactly and iterate at
   /// near-zero cost. 0 disables.
   double receive_filter_factor = 0.01;
+
+  // Delta-encoded boundary frames (DESIGN.md §14). The socket backend
+  // negotiates the feature in Hello and thins each boundary send down to
+  // the rows that moved; the sim/thread engines deliver full values but
+  // charge the same bytes-on-wire metric so cross-engine byte accounting
+  // stays comparable.
+  /// Master switch: when false the feature is never advertised and every
+  /// backend charges full-frame sizes.
+  bool delta_boundaries = true;
+  /// Sender-side thinning threshold as a fraction of `tolerance`, like
+  /// receive_filter_factor: a row rides a delta only once some value
+  /// moved more than tolerance * delta_threshold_factor from the last
+  /// full frame. Defaults to the receive filter's factor so thinning
+  /// introduces no error the filter does not already tolerate.
+  double delta_threshold_factor = 0.01;
+  /// Forced full refresh after this many consecutive delta sends per
+  /// link, bounding how long an epoch-desynced receiver can stay stale.
+  std::size_t delta_refresh_period = 32;
+
   std::size_t max_iterations_per_processor = 500000;
   double max_virtual_time = 1e9;  // safety stop, virtual seconds
 

@@ -15,6 +15,8 @@
 #include "algo/runtime_ifaces.hpp"
 #include "algo/trace_sink.hpp"
 #include "des/simulator.hpp"
+#include "ode/boundary_delta.hpp"
+#include "trace/execution_trace.hpp"
 #include "runtime/worker_pool.hpp"
 #include "util/log.hpp"
 
@@ -79,6 +81,26 @@ class SimEngine final : public algo::Transport,
     }
 
     procs_.resize(nprocs);
+    // Wire-equivalent byte accounting (DESIGN.md §14): one planner per
+    // directed link, identical to the socket backend's, so the byte
+    // counters and the trace charge the size a delta-capable wire would
+    // carry. The delay model and the delivered values stay on the full
+    // message — virtual-time results are unchanged by the metric.
+    if (config.delta_boundaries) {
+      const ode::BoundaryDeltaSender::Config dc{
+          config.tolerance * config.delta_threshold_factor,
+          config.delta_refresh_period};
+      delta_to_left_.assign(nprocs, ode::BoundaryDeltaSender(dc));
+      delta_to_right_.assign(nprocs, ode::BoundaryDeltaSender(dc));
+    }
+    comms_to_left_.resize(nprocs);
+    comms_to_right_.resize(nprocs);
+    for (std::size_t p = 0; p < nprocs; ++p) {
+      comms_to_left_[p].src = p;
+      comms_to_left_[p].dst = p > 0 ? p - 1 : p;
+      comms_to_right_[p].src = p;
+      comms_to_right_[p].dst = p + 1 < nprocs ? p + 1 : p;
+    }
     lb_link_busy_.assign(nprocs > 0 ? nprocs - 1 : 0, false);
     lb_link_inflight_.resize(nprocs > 0 ? nprocs - 1 : 0);
     link_clear_.assign(nprocs > 0 ? nprocs - 1 : 0, {0.0, 0.0});
@@ -328,11 +350,34 @@ class SimEngine final : public algo::Transport,
     }
     busy = true;
     const double sent = sim_.now();
+    // The delay model stays on the full message size so virtual-time
+    // results are comparable across configurations; the counters and the
+    // trace charge what the delta-capable wire would have carried, and
+    // the receiver always gets the full-precision values.
     const double delay = grid_.message_delay(src, dst, msg.byte_size(), sent);
     const double arrival = link_delivery_time(src, dst, sent + delay);
+    std::size_t wire_bytes = msg.byte_size();
+    bool full = true;
+    if (config_.delta_boundaries) {
+      ode::BoundaryDeltaSender& planner =
+          to_left ? delta_to_left_[src] : delta_to_right_[src];
+      if (planner.plan(msg, delta_scratch_) ==
+          ode::BoundaryDeltaSender::Plan::kDelta) {
+        wire_bytes = delta_scratch_.byte_size();
+        full = false;
+      }
+    }
+    trace::CommsRecord& comms =
+        to_left ? comms_to_left_[src] : comms_to_right_[src];
+    ++comms.frames_sent;
+    if (full)
+      ++comms.frames_full;
+    else
+      ++comms.frames_delta;
+    comms.bytes_sent += wire_bytes;
     ++result_data_messages_;
-    result_bytes_ += msg.byte_size();
-    algo::emit_message(trace_, src, dst, sent, arrival, msg.byte_size(),
+    result_bytes_ += wire_bytes;
+    algo::emit_message(trace_, src, dst, sent, arrival, wire_bytes,
                        trace::MessageKind::kBoundaryData);
     sim_.schedule_at(arrival, [this, src, dst, msg, to_left] {
       deliver_boundary(src, dst, msg, to_left);
@@ -486,6 +531,24 @@ class SimEngine final : public algo::Transport,
         result.final_max_residual =
             std::max(result.final_max_residual, core.last_residual());
     }
+    if (trace_) {
+      for (std::size_t p = 0; p < procs_.size(); ++p) {
+        trace::CommsRecord& left = comms_to_left_[p];
+        if (p > 0 && left.frames_sent > 0) {
+          if (!delta_to_left_.empty())
+            left.rows_suppressed = delta_to_left_[p].rows_suppressed();
+          left.bytes_received = comms_to_right_[p - 1].bytes_sent;
+          trace_->record_comms(left);
+        }
+        trace::CommsRecord& right = comms_to_right_[p];
+        if (p + 1 < procs_.size() && right.frames_sent > 0) {
+          if (!delta_to_right_.empty())
+            right.rows_suppressed = delta_to_right_[p].rows_suppressed();
+          right.bytes_received = comms_to_left_[p + 1].bytes_sent;
+          trace_->record_comms(right);
+        }
+      }
+    }
     result.lb_messages = result.migrations;
     result.data_messages = result_data_messages_;
     result.control_messages = result_control_messages_;
@@ -508,6 +571,14 @@ class SimEngine final : public algo::Transport,
   std::unique_ptr<algo::DetectionProtocol> protocol_;
 
   std::vector<Proc> procs_;
+  /// Byte-accounting planners per directed link (empty when delta framing
+  /// is disabled) and the per-link comms tallies they feed. The event
+  /// loop is single-threaded, so one delta scratch serves every link.
+  std::vector<ode::BoundaryDeltaSender> delta_to_left_;
+  std::vector<ode::BoundaryDeltaSender> delta_to_right_;
+  ode::BoundaryDeltaMessage delta_scratch_;
+  std::vector<trace::CommsRecord> comms_to_left_;
+  std::vector<trace::CommsRecord> comms_to_right_;
   std::vector<bool> lb_link_busy_;
   std::vector<std::optional<ode::MigrationPayload>> lb_link_inflight_;
   /// Earliest time each directed neighbor link is free to deliver the

@@ -16,6 +16,7 @@
 #include "algo/detection.hpp"
 #include "algo/processor_core.hpp"
 #include "algo/runtime_ifaces.hpp"
+#include "ode/boundary_delta.hpp"
 #include "runtime/buffer_pool.hpp"
 #include "runtime/fault_injector.hpp"
 #include "runtime/mailbox.hpp"
@@ -62,6 +63,17 @@ struct ThreadProc {
   // Owner-thread counters (summed after join).
   std::size_t data_messages = 0;
   std::size_t bytes_out = 0;
+
+  // Wire-equivalent byte accounting (owner-thread only, like bytes_out):
+  // the same per-link planner the socket backend runs decides what an
+  // equivalent delta-capable link would have carried, and bytes_out is
+  // charged that size. The mailbox still delivers the full-precision
+  // message — thinning here is a metric, never an approximation.
+  ode::BoundaryDeltaSender delta_left;
+  ode::BoundaryDeltaSender delta_right;
+  ode::BoundaryDeltaMessage delta_scratch;
+  trace::CommsRecord comms_left;
+  trace::CommsRecord comms_right;
 
   // Chaos layer (null when disabled): compute stalls + LB-trigger skew.
   runtime::FaultPlan* fault_plan = nullptr;
@@ -128,6 +140,21 @@ class ThreadEngine final : public algo::Transport,
     }
 
     procs_ = std::vector<ThreadProc>(processors);
+    if (config.delta_boundaries) {
+      const ode::BoundaryDeltaSender::Config dc{
+          config.tolerance * config.delta_threshold_factor,
+          config.delta_refresh_period};
+      for (auto& proc : procs_) {
+        proc.delta_left = ode::BoundaryDeltaSender(dc);
+        proc.delta_right = ode::BoundaryDeltaSender(dc);
+      }
+    }
+    for (std::size_t p = 0; p < processors; ++p) {
+      procs_[p].comms_left.src = p;
+      procs_[p].comms_left.dst = p > 0 ? p - 1 : p;
+      procs_[p].comms_right.src = p;
+      procs_[p].comms_right.dst = p + 1 < processors ? p + 1 : p;
+    }
     // Lock-order ranks: detection mutex below every block mutex (a
     // detection closure may broadcast the halt, which takes all block
     // locks), block mutexes ascending by processor.
@@ -201,8 +228,29 @@ class ThreadEngine final : public algo::Transport,
   void send_boundary(std::size_t src, Side toward,
                      ode::BoundaryMessage msg) override {
     ThreadProc& sender = procs_[src];
-    sender.bytes_out += msg.byte_size();
+    const bool to_left = toward == Side::kLeft;
+    ode::BoundaryDeltaSender& planner =
+        to_left ? sender.delta_left : sender.delta_right;
+    trace::CommsRecord& comms =
+        to_left ? sender.comms_left : sender.comms_right;
+    // Charge the size a delta-capable wire would carry (DESIGN.md §14);
+    // the delivered message below stays full-precision regardless.
+    std::size_t wire_bytes = msg.byte_size();
+    bool full = true;
+    if (config_.delta_boundaries &&
+        planner.plan(msg, sender.delta_scratch) ==
+            ode::BoundaryDeltaSender::Plan::kDelta) {
+      wire_bytes = sender.delta_scratch.byte_size();
+      full = false;
+    }
+    sender.bytes_out += wire_bytes;
     ++sender.data_messages;
+    ++comms.frames_sent;
+    if (full)
+      ++comms.frames_full;
+    else
+      ++comms.frames_delta;
+    comms.bytes_sent += wire_bytes;
     // "Latest data wins": an unread message this put displaces would be
     // destroyed here on the per-iteration path — recycle its rows instead.
     std::optional<ode::BoundaryMessage> displaced =
@@ -551,6 +599,24 @@ class ThreadEngine final : public algo::Transport,
             std::max(result.final_max_residual, core.last_residual());
       result.data_messages += procs_[p].data_messages;
       result.bytes_sent += procs_[p].bytes_out;
+    }
+    if (trace_) {
+      for (std::size_t p = 0; p < nprocs_; ++p) {
+        ThreadProc& proc = procs_[p];
+        if (p > 0 && proc.comms_left.frames_sent > 0) {
+          proc.comms_left.rows_suppressed = proc.delta_left.rows_suppressed();
+          proc.comms_left.bytes_received =
+              procs_[p - 1].comms_right.bytes_sent;
+          trace_->record_comms(proc.comms_left);
+        }
+        if (p + 1 < nprocs_ && proc.comms_right.frames_sent > 0) {
+          proc.comms_right.rows_suppressed =
+              proc.delta_right.rows_suppressed();
+          proc.comms_right.bytes_received =
+              procs_[p + 1].comms_left.bytes_sent;
+          trace_->record_comms(proc.comms_right);
+        }
+      }
     }
     result.lb_messages = result.migrations;
     result.control_messages = control_messages_;

@@ -689,7 +689,10 @@ void check_wire_hygiene(const CodeModel& model, std::vector<Finding>& out) {
       continue;
     }
     if (!in_net_dir(file.path)) continue;
-    collect_call_mentions(file, {"begin_frame", "encode_empty"}, serialized);
+    collect_call_mentions(
+        file, {"begin_frame", "encode_empty", "encode_empty_sg",
+               "start_frame_header"},
+        serialized);
     collect_parser_mentions(file, parsed);
   }
   for (const Enumerator& e : enumerators) {

@@ -71,6 +71,18 @@ algo::FleetConfig fleet_config(const core::EngineConfig& config,
   return fc;
 }
 
+/// The worker transport's knobs: socket policy from NetConfig plus the
+/// delta-boundary settings the EngineConfig carries (the threshold is the
+/// engine tolerance scaled by the configured factor, see DESIGN.md §14).
+TransportConfig transport_config(const core::EngineConfig& config,
+                                 const NetConfig& net) {
+  TransportConfig tc = net.transport;
+  tc.delta_boundaries = config.delta_boundaries;
+  tc.delta_threshold = config.tolerance * config.delta_threshold_factor;
+  tc.delta_refresh_period = config.delta_refresh_period;
+  return tc;
+}
+
 /// Worker-thread count for one rank's intra-iterate pool. The socket
 /// backend forks all workers on this host, so each process gets an even
 /// share of the machine: processors * (1 + workers) never exceeds
@@ -114,8 +126,8 @@ class NetWorker final : public FrameSink,
         collect_trace_(collect_trace),
         fleet_(system, fleet_config(config, processors)),
         core_(fleet_.core(rank)),
-        transport_(rank, processors, net.transport, byte_pool_, row_pool_,
-                   *this),
+        transport_(rank, processors, transport_config(config, net),
+                   byte_pool_, row_pool_, *this),
         t0_(Clock::now()) {
     // Attach an intra-iterate pool to this rank's core only: the other
     // fleet cores exist for partition bookkeeping and never iterate in
@@ -204,8 +216,27 @@ class NetWorker final : public FrameSink,
 
   // ---- FrameSink ------------------------------------------------------
 
-  void on_boundary(std::size_t peer, const ode::BoundaryMessage& msg) override {
-    core_.ingest_boundary(peer < rank_ ? Side::kLeft : Side::kRight, msg);
+  /// Zero-copy receive: the transport parses full boundary frames
+  /// straight into the core's persistent inbox slot for the link ...
+  ode::BoundaryMessage& boundary_inbox(std::size_t peer) override {
+    return core_.inbox_storage(peer < rank_ ? Side::kLeft : Side::kRight);
+  }
+
+  /// ... and signals here, where the core's receive bookkeeping (inbox
+  /// flag, data-iteration stamp, epoch) runs exactly as ingest_boundary's.
+  void on_boundary_stored(std::size_t peer) override {
+    core_.commit_inbox(peer < rank_ ? Side::kLeft : Side::kRight);
+  }
+
+  void on_boundary_delta(std::size_t peer,
+                         const ode::BoundaryDeltaMessage& delta) override {
+    // A false return is an epoch or shape mismatch: the delta references
+    // a baseline this inbox no longer holds (possible around migrations
+    // or link teardown). Dropping it is safe — the sender's forced full
+    // refresh resynchronizes, and until then the inbox keeps serving its
+    // last consistent state under the stale-residual rule.
+    (void)core_.ingest_boundary_delta(
+        peer < rank_ ? Side::kLeft : Side::kRight, delta);
   }
 
   void on_migration(std::size_t peer,
@@ -277,12 +308,17 @@ class NetWorker final : public FrameSink,
     for (std::size_t l = 0; l < rank_; ++l) {
       const int fd = connect_loopback(ports[l], net_.transport);
       std::vector<std::uint8_t> hello;
-      encode_hello({rank_, processors_}, hello);
+      encode_hello({rank_, processors_, local_features()}, hello);
       if (!write_all(fd, hello, net_.transport.handshake_timeout_s)) {
         ::close(fd);
         throw std::runtime_error("hello to rank " + std::to_string(l) +
                                  " failed");
       }
+      // If our Hello advertised any features, the listener replies with
+      // its own Hello as the first frame on the link; the normal pump
+      // picks it up. Until it arrives (or forever, against a legacy peer
+      // that never replies) the link runs full boundary frames — the
+      // always-safe fallback.
       transport_.adopt_peer(l, fd);
     }
     for (std::size_t k = rank_ + 1; k < processors_; ++k) {
@@ -311,6 +347,20 @@ class NetWorker final : public FrameSink,
         ::close(fd);
         throw std::runtime_error("inconsistent hello");
       }
+      // A connector that advertised features expects our advertisement
+      // back; reply before adopting so the Hello is the first frame it
+      // reads on the link. A legacy connector (features == 0) gets no
+      // reply and keeps exchanging full boundary frames.
+      if (hello.features != 0) {
+        std::vector<std::uint8_t> reply;
+        encode_hello({rank_, processors_, local_features()}, reply);
+        if (!write_all(fd, reply, net_.transport.handshake_timeout_s)) {
+          ::close(fd);
+          throw std::runtime_error("hello reply to rank " +
+                                   std::to_string(hello.rank) + " failed");
+        }
+      }
+      transport_.set_peer_features(hello.rank, hello.features);
       // A fast peer may already have pipelined data frames behind its
       // Hello; hand the surplus bytes over with the connection.
       transport_.adopt_peer(
@@ -318,6 +368,11 @@ class NetWorker final : public FrameSink,
           std::span<const std::uint8_t>(buf).subspan(view.frame_bytes));
     }
     ::close(listener_fd);
+  }
+
+  /// Capability bits this worker advertises in its Hello frames.
+  std::uint64_t local_features() const {
+    return config_.delta_boundaries ? kFeatureDeltaBoundary : 0;
   }
 
   void drain_control() {
@@ -581,6 +636,13 @@ class NetWorker final : public FrameSink,
             std::span(trace_migrations_)
                 .subspan(i, std::min(kChunk, trace_migrations_.size() - i)),
             out);
+      // Per-link comms totals (full/delta frame mix, wire bytes both
+      // directions) — at most two links per worker.
+      std::vector<trace::CommsRecord> comms;
+      for (std::size_t r = 0; r < processors_; ++r)
+        if (r != rank_ && transport_.link_used(r))
+          comms.push_back(transport_.comms_record(r));
+      if (!comms.empty()) encode_trace_comms(comms, out);
     }
     write_fd_all(result_fd, out);
   }
@@ -631,6 +693,7 @@ bool parse_child_stream(const std::vector<std::uint8_t>& stream,
   std::vector<trace::IterationRecord> iterations;
   std::vector<trace::MessageRecord> messages;
   std::vector<trace::MigrationRecord> migrations;
+  std::vector<trace::CommsRecord> comms;
   while (consumed < stream.size()) {
     FrameView view;
     const auto status = try_extract_frame(
@@ -666,6 +729,11 @@ bool parse_child_stream(const std::vector<std::uint8_t>& stream,
         ok = decode_trace_migrations(view.payload, migrations);
         if (ok)
           for (const auto& r : migrations) report.trace.record_migration(r);
+        break;
+      case FrameType::kTraceComms:
+        ok = decode_trace_comms(view.payload, comms);
+        if (ok)
+          for (const auto& r : comms) report.trace.record_comms(r);
         break;
       default:
         ok = false;

@@ -7,9 +7,11 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstring>
 #include <limits>
@@ -60,6 +62,10 @@ SocketTransport::SocketTransport(std::size_t rank, std::size_t processors,
       row_pool_(&row_pool),
       sink_(&sink),
       peers_(processors),
+      delta_senders_(processors,
+                     ode::BoundaryDeltaSender(ode::BoundaryDeltaSender::Config{
+                         config.delta_threshold,
+                         config.delta_refresh_period})),
       t0_(monotonic_seconds()) {}
 
 SocketTransport::~SocketTransport() {
@@ -97,20 +103,29 @@ void SocketTransport::adopt_peer(std::size_t r, int fd,
     // Bytes the handshake read past the Hello frame — the prefix of this
     // peer's data stream. Discarding them would desync the framing.
     peer.inbuf.insert(peer.inbuf.end(), leftover.begin(), leftover.end());
+    peer.bytes_from += leftover.size();
     dispatch_frames(r);
   }
 }
 
-void SocketTransport::enqueue(std::size_t dst,
-                              std::vector<std::uint8_t>&& frame) {
+void SocketTransport::set_peer_features(std::size_t r,
+                                        std::uint64_t features) {
+  Peer& peer = peer_for(r);
+  peer.features = features;
+  peer.hello_seen = true;
+}
+
+void SocketTransport::enqueue(std::size_t dst, OutFrame&& frame) {
   Peer& peer = peer_for(dst);
-  bytes_sent_ += frame.size();
+  bytes_sent_ += frame.total_bytes();
+  peer.bytes_to += frame.total_bytes();
+  ++peer.frames_sent;
   if (peer.fd < 0 || peer.goodbye_sent) {
     // Goodbye was our promise of silence, and a downed link reads
     // nothing more; dropping beats dying on EPIPE. A peer that sent
     // *us* its goodbye still reads (its drain waits for ours), so those
     // frames go out normally.
-    byte_pool_->release(std::move(frame));
+    byte_pool_->release(std::move(frame.payload));
     return;
   }
   if (peer.sendq.empty()) peer.last_write_progress = now();
@@ -120,14 +135,15 @@ void SocketTransport::enqueue(std::size_t dst,
 template <typename EncodeFn>
 void SocketTransport::queue_frame(std::size_t dst, bool control,
                                   EncodeFn&& encode) {
-  std::vector<std::uint8_t> buf = byte_pool_->acquire();
-  buf.clear();
-  encode(buf);
+  OutFrame frame;
+  frame.payload = byte_pool_->acquire();
+  frame.payload.clear();
+  encode(frame.header, frame.payload);
   if (control)
     ++control_messages_;
   else
     ++data_messages_;
-  enqueue(dst, std::move(buf));
+  enqueue(dst, std::move(frame));
 }
 
 void SocketTransport::send_boundary(std::size_t src, algo::Side toward,
@@ -136,33 +152,71 @@ void SocketTransport::send_boundary(std::size_t src, algo::Side toward,
     throw std::logic_error("SocketTransport: send_boundary from foreign rank");
   const std::size_t dst = toward == algo::Side::kLeft ? src - 1 : src + 1;
   Peer& peer = peer_for(dst);
-  std::vector<std::uint8_t> buf = byte_pool_->acquire();
-  buf.clear();
-  encode_boundary(msg, buf);
-  row_pool_->release(std::move(msg.rows));
   if (peer.fd < 0 || peer.goodbye_sent) {
-    bytes_sent_ += buf.size();  // matches enqueue()'s drop accounting
-    byte_pool_->release(std::move(buf));
+    // Dropped, but accounted like enqueue()'s drop path (as a full
+    // frame); the planner is left untouched so a dead link accrues no
+    // baseline it can never deliver.
+    const std::size_t dropped = kFrameHeaderBytes + msg.byte_size();
+    bytes_sent_ += dropped;
+    peer.bytes_to += dropped;
+    ++peer.frames_sent;
+    ++peer.frames_full;
+    row_pool_->release(std::move(msg.rows));
     return;
   }
-  // Coalesce: a queued boundary frame that has not started onto the wire
-  // is replaced by the fresher one. Whatever the rate mismatch between
-  // this rank and its peer, at most one boundary frame ever waits per
-  // link, so the send queue stays bounded by control traffic alone.
-  if (peer.boundary_qidx != Peer::kNoFrame &&
-      !(peer.boundary_qidx == 0 && peer.front_pos > 0)) {
-    std::vector<std::uint8_t>& slot = peer.sendq[peer.boundary_qidx];
-    bytes_sent_ += buf.size();
-    bytes_sent_ -= slot.size();
-    byte_pool_->release(std::move(slot));
-    slot = std::move(buf);
+  const bool slot_live =
+      peer.boundary_qidx != Peer::kNoFrame &&
+      !(peer.boundary_qidx == 0 && peer.front_pos > 0);
+  OutFrame frame;
+  frame.payload = byte_pool_->acquire();
+  frame.payload.clear();
+  bool is_full = true;
+  if (config_.delta_boundaries &&
+      (peer.features & kFeatureDeltaBoundary) != 0) {
+    // Replacing a queued unsent full with a delta would thin against a
+    // baseline that never reaches the peer — force a rebase instead.
+    const bool force_full = slot_live && peer.boundary_q_full;
+    if (delta_senders_[dst].plan(msg, delta_send_scratch_, force_full) ==
+        ode::BoundaryDeltaSender::Plan::kDelta) {
+      encode_boundary_delta_sg(delta_send_scratch_, frame.header,
+                               frame.payload);
+      is_full = false;
+    }
+  }
+  if (is_full)
+    encode_boundary_sg(msg, frame.header, frame.payload);
+  row_pool_->release(std::move(msg.rows));
+  if (is_full)
+    ++peer.frames_full;
+  else
+    ++peer.frames_delta;
+  if (slot_live) {
+    // Coalesce: a queued boundary frame that has not started onto the
+    // wire is replaced by the fresher one. Whatever the rate mismatch
+    // between this rank and its peer, at most one boundary frame ever
+    // waits per link, so the send queue stays bounded by control traffic
+    // alone. (A delta replacing a delta loses nothing: deltas are
+    // cumulative against the baseline, so the newer one carries every
+    // row the replaced one did.)
+    OutFrame& slot = peer.sendq[peer.boundary_qidx];
+    bytes_sent_ += frame.total_bytes();
+    bytes_sent_ -= slot.total_bytes();
+    peer.bytes_to += frame.total_bytes();
+    peer.bytes_to -= slot.total_bytes();
+    ++peer.frames_suppressed;
+    byte_pool_->release(std::move(slot.payload));
+    slot = std::move(frame);
+    peer.boundary_q_full = is_full;
     return;  // replaces a frame already counted in data_messages_
   }
   ++data_messages_;
-  bytes_sent_ += buf.size();
+  ++peer.frames_sent;
+  bytes_sent_ += frame.total_bytes();
+  peer.bytes_to += frame.total_bytes();
   if (peer.sendq.empty()) peer.last_write_progress = now();
-  peer.sendq.push_back(std::move(buf));
+  peer.sendq.push_back(std::move(frame));
   peer.boundary_qidx = peer.sendq.size() - 1;
+  peer.boundary_q_full = is_full;
 }
 
 void SocketTransport::send_migration(std::size_t src, algo::Side toward,
@@ -171,9 +225,10 @@ void SocketTransport::send_migration(std::size_t src, algo::Side toward,
     throw std::logic_error(
         "SocketTransport: send_migration from foreign rank");
   const std::size_t dst = toward == algo::Side::kLeft ? src - 1 : src + 1;
-  queue_frame(dst, /*control=*/false, [&](std::vector<std::uint8_t>& out) {
-    encode_migration(payload, out);
-  });
+  queue_frame(dst, /*control=*/false,
+              [&](FrameHeaderArray& header, std::vector<std::uint8_t>& body) {
+                encode_migration_sg(payload, header, body);
+              });
   row_pool_->release(std::move(payload.rows));
 }
 
@@ -197,28 +252,32 @@ void SocketTransport::send_control_frame(std::size_t src, std::size_t dst,
     self_control_.push_back(frame);
     return;
   }
-  std::vector<std::uint8_t> buf = byte_pool_->acquire();
-  buf.clear();
-  encode_control(frame, buf);
-  enqueue(dst, std::move(buf));
+  OutFrame out;
+  out.payload = byte_pool_->acquire();
+  out.payload.clear();
+  encode_control_sg(frame, out.header, out.payload);
+  enqueue(dst, std::move(out));
 }
 
 void SocketTransport::send_mig_ack(std::size_t dst) {
-  queue_frame(dst, /*control=*/true, [](std::vector<std::uint8_t>& out) {
-    encode_empty(FrameType::kMigAck, out);
-  });
+  queue_frame(dst, /*control=*/true,
+              [](FrameHeaderArray& header, std::vector<std::uint8_t>&) {
+                encode_empty_sg(FrameType::kMigAck, header);
+              });
 }
 
 void SocketTransport::send_token_request(std::size_t dst) {
-  queue_frame(dst, /*control=*/true, [](std::vector<std::uint8_t>& out) {
-    encode_empty(FrameType::kTokenRequest, out);
-  });
+  queue_frame(dst, /*control=*/true,
+              [](FrameHeaderArray& header, std::vector<std::uint8_t>&) {
+                encode_empty_sg(FrameType::kTokenRequest, header);
+              });
 }
 
 void SocketTransport::send_token_grant(std::size_t dst) {
-  queue_frame(dst, /*control=*/true, [](std::vector<std::uint8_t>& out) {
-    encode_empty(FrameType::kTokenGrant, out);
-  });
+  queue_frame(dst, /*control=*/true,
+              [](FrameHeaderArray& header, std::vector<std::uint8_t>&) {
+                encode_empty_sg(FrameType::kTokenGrant, header);
+              });
 }
 
 void SocketTransport::send_goodbye_all(bool failed) {
@@ -226,9 +285,10 @@ void SocketTransport::send_goodbye_all(bool failed) {
     if (r == rank_) continue;
     Peer& peer = peers_[r];
     if (peer.fd < 0 || peer.goodbye_sent) continue;
-    queue_frame(r, /*control=*/true, [&](std::vector<std::uint8_t>& out) {
-      encode_goodbye(failed, out);
-    });
+    queue_frame(r, /*control=*/true,
+                [&](FrameHeaderArray& header, std::vector<std::uint8_t>& body) {
+                  encode_goodbye_sg(failed, header, body);
+                });
     peer.goodbye_sent = true;
   }
 }
@@ -259,13 +319,33 @@ bool SocketTransport::peer_said_goodbye(std::size_t r) const noexcept {
   return peers_[r].goodbye_received;
 }
 
+bool SocketTransport::link_used(std::size_t r) const noexcept {
+  return peers_[r].bytes_to > 0 || peers_[r].bytes_from > 0;
+}
+
+trace::CommsRecord SocketTransport::comms_record(std::size_t r) const {
+  const Peer& peer = peers_[r];
+  trace::CommsRecord rec;
+  rec.src = rank_;
+  rec.dst = r;
+  rec.frames_sent = peer.frames_sent;
+  rec.frames_full = peer.frames_full;
+  rec.frames_delta = peer.frames_delta;
+  rec.frames_suppressed = peer.frames_suppressed;
+  rec.rows_suppressed = delta_senders_[r].rows_suppressed();
+  rec.bytes_sent = peer.bytes_to;
+  rec.bytes_received = peer.bytes_from;
+  return rec;
+}
+
 void SocketTransport::close_peer(Peer& peer) {
   if (peer.fd >= 0) ::close(peer.fd);
   peer.fd = -1;
-  for (auto& buf : peer.sendq) byte_pool_->release(std::move(buf));
+  for (auto& frame : peer.sendq) byte_pool_->release(std::move(frame.payload));
   peer.sendq.clear();
   peer.front_pos = 0;
   peer.boundary_qidx = Peer::kNoFrame;
+  peer.boundary_q_full = false;
 }
 
 void SocketTransport::fail_peer(std::size_t r, const std::string& reason) {
@@ -275,14 +355,21 @@ void SocketTransport::fail_peer(std::size_t r, const std::string& reason) {
 
 void SocketTransport::read_from(std::size_t r) {
   Peer& peer = peers_[r];
-  std::uint8_t chunk[16384];
+  constexpr std::size_t kChunk = 16384;
   for (;;) {
     if (peer.fd < 0) return;
-    const ssize_t n = ::recv(peer.fd, chunk, sizeof(chunk), 0);
+    // Receive straight into the accumulation buffer's tail: the bytes
+    // land where dispatch_frames parses them, with no bounce through a
+    // stack chunk.
+    const std::size_t old_size = peer.inbuf.size();
+    peer.inbuf.resize(old_size + kChunk);
+    const ssize_t n = ::recv(peer.fd, peer.inbuf.data() + old_size, kChunk, 0);
+    peer.inbuf.resize(old_size +
+                      (n > 0 ? static_cast<std::size_t>(n) : 0));
     if (n > 0) {
-      peer.inbuf.insert(peer.inbuf.end(), chunk, chunk + n);
+      peer.bytes_from += static_cast<std::size_t>(n);
       if (!dispatch_frames(r)) return;
-      if (static_cast<std::size_t>(n) < sizeof(chunk)) return;
+      if (static_cast<std::size_t>(n) < kChunk) return;
       continue;
     }
     if (n == 0) {
@@ -322,9 +409,18 @@ bool SocketTransport::dispatch_frames(std::size_t r) {
     consumed += view.frame_bytes;
     bool payload_ok = true;
     switch (view.header.type) {
-      case FrameType::kBoundary:
-        payload_ok = decode_boundary(view.payload, boundary_scratch_);
-        if (payload_ok) sink_->on_boundary(r, boundary_scratch_);
+      case FrameType::kBoundary: {
+        // In-place parse into the sink's persistent inbox slot for this
+        // link: the rows land where the algorithm reads them, with no
+        // intermediate scratch copy.
+        ode::BoundaryMessage& inbox = sink_->boundary_inbox(r);
+        payload_ok = decode_boundary(view.payload, inbox);
+        if (payload_ok) sink_->on_boundary_stored(r);
+        break;
+      }
+      case FrameType::kBoundaryDelta:
+        payload_ok = decode_boundary_delta(view.payload, delta_recv_scratch_);
+        if (payload_ok) sink_->on_boundary_delta(r, delta_recv_scratch_);
         break;
       case FrameType::kMigration:
         payload_ok = decode_migration(view.payload, migration_scratch_);
@@ -359,9 +455,22 @@ bool SocketTransport::dispatch_frames(std::size_t r) {
         }
         break;
       }
+      case FrameType::kHello: {
+        // The listener's reply Hello: its feature advertisement arriving
+        // as the first frame on a connector-side link. Anything else —
+        // a duplicate, a mismatched identity — is a protocol violation.
+        Hello hello;
+        payload_ok = decode_hello(view.payload, hello) && !peer.hello_seen &&
+                     hello.rank == r && hello.processors == processors_;
+        if (payload_ok) {
+          peer.hello_seen = true;
+          peer.features = hello.features;
+        }
+        break;
+      }
       default:
-        // Hello after the handshake, or a launcher-only frame type on a
-        // worker link: a protocol violation.
+        // A launcher-only frame type on a worker link: a protocol
+        // violation.
         payload_ok = false;
         break;
     }
@@ -381,24 +490,59 @@ bool SocketTransport::dispatch_frames(std::size_t r) {
 void SocketTransport::write_to(std::size_t r) {
   Peer& peer = peers_[r];
   while (peer.fd >= 0 && !peer.sendq.empty()) {
-    std::vector<std::uint8_t>& front = peer.sendq.front();
-    const ssize_t n =
-        ::send(peer.fd, front.data() + peer.front_pos,
-               front.size() - peer.front_pos, MSG_NOSIGNAL);
+    // Gather up to kIovFrames queued frames — header block and pooled
+    // payload as separate segments — into one scatter-gather send, so
+    // frame bytes go from where they were encoded straight to the
+    // kernel. sendmsg rather than writev for MSG_NOSIGNAL: a racing
+    // peer close must surface as EPIPE, not kill the process.
+    constexpr std::size_t kIovFrames = 8;
+    std::array<iovec, 2 * kIovFrames> iov;
+    std::size_t iov_count = 0;
+    for (std::size_t q = 0;
+         q < peer.sendq.size() && iov_count < iov.size(); ++q) {
+      OutFrame& frame = peer.sendq[q];
+      std::size_t skip = q == 0 ? peer.front_pos : 0;
+      if (skip < frame.header.size()) {
+        iov[iov_count].iov_base = frame.header.data() + skip;
+        iov[iov_count].iov_len = frame.header.size() - skip;
+        ++iov_count;
+        skip = 0;
+      } else {
+        skip -= frame.header.size();
+      }
+      if (skip < frame.payload.size() && iov_count < iov.size()) {
+        iov[iov_count].iov_base = frame.payload.data() + skip;
+        iov[iov_count].iov_len = frame.payload.size() - skip;
+        ++iov_count;
+      }
+    }
+    msghdr mh{};
+    mh.msg_iov = iov.data();
+    mh.msg_iovlen = static_cast<decltype(mh.msg_iovlen)>(iov_count);
+    const ssize_t n = ::sendmsg(peer.fd, &mh, MSG_NOSIGNAL);
     if (n > 0) {
-      peer.front_pos += static_cast<std::size_t>(n);
       peer.last_write_progress = now();
-      if (peer.front_pos == front.size()) {
-        byte_pool_->release(std::move(front));
+      std::size_t left = static_cast<std::size_t>(n);
+      while (left > 0) {
+        OutFrame& front = peer.sendq.front();
+        const std::size_t avail = front.total_bytes() - peer.front_pos;
+        if (left < avail) {
+          peer.front_pos += left;
+          break;
+        }
+        left -= avail;
+        byte_pool_->release(std::move(front.payload));
         peer.sendq.pop_front();
         peer.front_pos = 0;
         if (peer.boundary_qidx != Peer::kNoFrame) {
           // The coalescing slot shifts with the queue; the boundary frame
           // itself leaving the queue ends its replaceable window.
-          if (peer.boundary_qidx == 0)
+          if (peer.boundary_qidx == 0) {
             peer.boundary_qidx = Peer::kNoFrame;
-          else
+            peer.boundary_q_full = false;
+          } else {
             --peer.boundary_qidx;
+          }
         }
       }
       continue;

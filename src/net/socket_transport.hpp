@@ -8,6 +8,18 @@
 // worker runs its own DetectionProtocol instance and the closure path
 // (post_control) is never used here.
 //
+// The send path is zero-copy scatter-gather: every queued frame is a
+// runtime::ScatterFrame — the 16-byte header block next to a pooled
+// payload buffer — and write_to() gathers several of them into one
+// sendmsg() call, so payload bytes are written exactly once (by the
+// CRC-fused encoder) and never reassembled. The receive path reads
+// straight into each peer's accumulation buffer and parses full boundary
+// frames in place into the sink's persistent inbox storage.
+//
+// Boundary sends are delta-thinned per link (ode::BoundaryDeltaSender)
+// when the peer's Hello advertised kFeatureDeltaBoundary; against a
+// legacy peer every boundary goes out as a full frame.
+//
 // Everything is single-threaded within the worker: pump() is the only
 // place bytes enter or leave, and it dispatches complete frames to a
 // FrameSink (the worker) synchronously. Failure surfaces as events, not
@@ -25,8 +37,10 @@
 
 #include "algo/runtime_ifaces.hpp"
 #include "net/wire.hpp"
+#include "ode/boundary_delta.hpp"
 #include "ode/waveform_block.hpp"
 #include "runtime/buffer_pool.hpp"
+#include "trace/execution_trace.hpp"
 
 namespace aiac::net {
 
@@ -53,15 +67,37 @@ struct TransportConfig {
   /// queued behind the backlog. Pinning both sides keeps the window
   /// honest.
   std::size_t socket_buffer_bytes = 1 << 20;
+
+  /// Delta boundary frames (DESIGN.md §14): when true AND the peer's
+  /// Hello advertised kFeatureDeltaBoundary, boundary sends on that link
+  /// are thinned to the rows that moved more than delta_threshold since
+  /// the last full frame, with a forced full refresh every
+  /// delta_refresh_period sends. When false the feature is neither used
+  /// nor advertised and every boundary goes out full.
+  bool delta_boundaries = true;
+  double delta_threshold = 0.0;
+  std::size_t delta_refresh_period = 32;
 };
 
-/// Where pump() delivers decoded frames. The boundary/migration payload
-/// references point into transport-owned scratch reused across calls —
-/// copy (ingest) or move out before returning.
+/// Where pump() delivers decoded frames. Boundary delivery is zero-copy:
+/// the transport parses a full boundary frame directly into the storage
+/// boundary_inbox(peer) returns (the sink's persistent inbox slot for
+/// that link) and then signals on_boundary_stored; a delta frame arrives
+/// decoded into transport scratch via on_boundary_delta and the sink
+/// patches its inbox in place. Migration payload references point into
+/// transport-owned scratch reused across calls — move out before
+/// returning.
 class FrameSink {
  public:
   virtual ~FrameSink() = default;
-  virtual void on_boundary(std::size_t peer, const ode::BoundaryMessage& msg) = 0;
+  /// Persistent decode target for full boundary frames from `peer`. A
+  /// malformed frame may leave it partially overwritten — the transport
+  /// fails the peer in that case and never signals on_boundary_stored.
+  virtual ode::BoundaryMessage& boundary_inbox(std::size_t peer) = 0;
+  /// boundary_inbox(peer) now holds a freshly parsed full message.
+  virtual void on_boundary_stored(std::size_t peer) = 0;
+  virtual void on_boundary_delta(std::size_t peer,
+                                 const ode::BoundaryDeltaMessage& delta) = 0;
   virtual void on_migration(std::size_t peer, ode::MigrationPayload&& payload) = 0;
   virtual void on_control(const algo::ControlFrame& frame) = 0;
   virtual void on_mig_ack(std::size_t peer) = 0;
@@ -91,10 +127,19 @@ class SocketTransport final : public algo::Transport {
   void adopt_peer(std::size_t r, int fd,
                   std::span<const std::uint8_t> leftover = {});
 
+  /// Capability bits the peer's handshake Hello advertised (the listener
+  /// side learns them during wiring; the connector side picks them up
+  /// from the listener's reply Hello, which arrives as the first frame on
+  /// the link). Until set, the peer advertises nothing and every
+  /// boundary goes out as a full frame — always safe.
+  void set_peer_features(std::size_t r, std::uint64_t features);
+
   // ---- algo::Transport ------------------------------------------------
 
   /// Encodes and queues toward the adjacent rank; `msg.rows` is released
-  /// back to the row pool (send_* consume their payload).
+  /// back to the row pool (send_* consume their payload). On a
+  /// delta-capable link the message may leave as a BoundaryDelta frame
+  /// carrying only the rows that moved (see TransportConfig).
   void send_boundary(std::size_t src, algo::Side toward,
                      ode::BoundaryMessage msg) override;
   void send_migration(std::size_t src, algo::Side toward,
@@ -159,7 +204,17 @@ class SocketTransport final : public algo::Transport {
   std::size_t control_messages() const noexcept { return control_messages_; }
   std::size_t bytes_sent() const noexcept { return bytes_sent_; }
 
+  /// True when any bytes moved on the link to `r` in either direction.
+  bool link_used(std::size_t r) const noexcept;
+  /// Per-link comms totals for the trace (src is the local rank).
+  /// frames_suppressed counts queued boundary frames replaced by fresher
+  /// ones before reaching the wire; rows_suppressed counts rows thinned
+  /// out of delta sends.
+  trace::CommsRecord comms_record(std::size_t r) const;
+
  private:
+  using OutFrame = runtime::ScatterFrame<kFrameHeaderBytes>;
+
   struct Peer {
     static constexpr std::size_t kNoFrame = static_cast<std::size_t>(-1);
 
@@ -167,24 +222,40 @@ class SocketTransport final : public algo::Transport {
     bool goodbye_received = false;
     bool goodbye_sent = false;
     bool peer_failed = false;  // its Goodbye carried the failed flag
+    /// Feature bits from the peer's Hello; hello_seen guards against a
+    /// second post-handshake Hello rewriting them mid-run.
+    std::uint64_t features = 0;
+    bool hello_seen = false;
     std::vector<std::uint8_t> inbuf;
-    /// Send queue: pool-acquired buffers, one encoded frame each;
-    /// front_pos tracks the partial write into the front buffer.
-    std::deque<std::vector<std::uint8_t>> sendq;
+    /// Send queue: scatter-gather frames (header block + pooled payload);
+    /// front_pos tracks the partial write into the front frame, counted
+    /// across header and payload.
+    std::deque<OutFrame> sendq;
     std::size_t front_pos = 0;
     /// Index into sendq of the queued, not-yet-transmitted boundary
     /// frame (kNoFrame when none). Asynchronous iteration only ever
     /// wants the freshest boundary — the receiver's inbox overwrites —
     /// so a newer one replaces the queued frame in place instead of
-    /// growing the queue behind a slower peer.
+    /// growing the queue behind a slower peer. boundary_q_full remembers
+    /// whether that slot holds a full frame: a queued full is a baseline
+    /// the delta planner rebased on, so it may only be replaced by
+    /// another full (see send_boundary).
     std::size_t boundary_qidx = kNoFrame;
+    bool boundary_q_full = false;
     double last_write_progress = 0.0;
+    // Per-link comms counters (comms_record).
+    std::size_t frames_sent = 0;
+    std::size_t frames_full = 0;
+    std::size_t frames_delta = 0;
+    std::size_t frames_suppressed = 0;
+    std::size_t bytes_to = 0;
+    std::size_t bytes_from = 0;
   };
 
   double now() const;
   Peer& peer_for(std::size_t r);
-  void enqueue(std::size_t dst, std::vector<std::uint8_t>&& frame);
-  /// Encodes into a pool buffer via `encode` and queues it for `dst`.
+  void enqueue(std::size_t dst, OutFrame&& frame);
+  /// Encodes header+payload via `encode` and queues the frame for `dst`.
   template <typename EncodeFn>
   void queue_frame(std::size_t dst, bool control, EncodeFn&& encode);
   void close_peer(Peer& peer);
@@ -202,10 +273,16 @@ class SocketTransport final : public algo::Transport {
   runtime::BufferPool* row_pool_;
   FrameSink* sink_;
   std::vector<Peer> peers_;  // indexed by rank; the self entry stays closed
+  /// Per-link delta planners (indexed by rank; only neighbor entries are
+  /// ever exercised).
+  std::vector<ode::BoundaryDeltaSender> delta_senders_;
   std::deque<algo::ControlFrame> self_control_;
-  // Decode scratch, reused across frames so the receive path stops
-  // allocating once warm.
-  ode::BoundaryMessage boundary_scratch_;
+  // Decode/plan scratch, reused across frames so the send and receive
+  // paths stop allocating once warm. Separate send/receive delta scratch:
+  // a sink callback may trigger sends while a received delta is still
+  // being applied.
+  ode::BoundaryDeltaMessage delta_send_scratch_;
+  ode::BoundaryDeltaMessage delta_recv_scratch_;
   ode::MigrationPayload migration_scratch_;
   double t0_ = 0.0;
   std::size_t data_messages_ = 0;

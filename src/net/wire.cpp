@@ -33,11 +33,6 @@ void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
     out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFFu));
 }
 
-void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i)
-    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFFu));
-}
-
 std::uint32_t read_u32(const std::uint8_t* p) noexcept {
   return static_cast<std::uint32_t>(p[0]) |
          (static_cast<std::uint32_t>(p[1]) << 8) |
@@ -58,11 +53,21 @@ void patch_u32(std::vector<std::uint8_t>& out, std::size_t at,
         static_cast<std::uint8_t>((v >> (8 * i)) & 0xFFu);
 }
 
+void store_u16(std::uint8_t* at, std::uint16_t v) {
+  at[0] = static_cast<std::uint8_t>(v & 0xFFu);
+  at[1] = static_cast<std::uint8_t>(v >> 8);
+}
+
+void store_u32(std::uint8_t* at, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    at[i] = static_cast<std::uint8_t>((v >> (8 * i)) & 0xFFu);
+}
+
 }  // namespace
 
 bool frame_type_known(std::uint16_t raw) noexcept {
   return raw >= static_cast<std::uint16_t>(FrameType::kHello) &&
-         raw <= static_cast<std::uint16_t>(FrameType::kTraceMigrations);
+         raw <= static_cast<std::uint16_t>(FrameType::kTraceComms);
 }
 
 std::uint32_t crc32(std::span<const std::uint8_t> data) noexcept {
@@ -80,20 +85,59 @@ std::uint32_t crc32_update(std::uint32_t state,
 
 // ---- WireWriter -------------------------------------------------------
 
-void WireWriter::u8(std::uint8_t v) { out_->push_back(v); }
-void WireWriter::u16(std::uint16_t v) { put_u16(*out_, v); }
-void WireWriter::u32(std::uint32_t v) { put_u32(*out_, v); }
-void WireWriter::u64(std::uint64_t v) { put_u64(*out_, v); }
+void WireWriter::append(const std::uint8_t* data, std::size_t n) {
+  out_->insert(out_->end(), data, data + n);
+  if (crc_)
+    *crc_ = crc32_update(*crc_, std::span<const std::uint8_t>(data, n));
+}
+
+void WireWriter::u8(std::uint8_t v) { append(&v, 1); }
+
+void WireWriter::u16(std::uint16_t v) {
+  std::uint8_t b[2];
+  store_u16(b, v);
+  append(b, 2);
+}
+
+void WireWriter::u32(std::uint32_t v) {
+  std::uint8_t b[4];
+  store_u32(b, v);
+  append(b, 4);
+}
+
+void WireWriter::u64(std::uint64_t v) {
+  std::uint8_t b[8];
+  for (int i = 0; i < 8; ++i)
+    b[i] = static_cast<std::uint8_t>((v >> (8 * i)) & 0xFFu);
+  append(b, 8);
+}
 
 void WireWriter::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
 
 void WireWriter::doubles(std::span<const double> values) {
-  for (const double v : values) f64(v);
+  // Bulk path for the row payloads: serialize into a stack block and
+  // append whole blocks, so the vector growth and (when fused) the CRC
+  // run over spans instead of per-byte push_backs. Endianness stays
+  // explicit — no memory-image copies of host doubles reach the wire.
+  std::array<std::uint8_t, 512> block;
+  std::size_t filled = 0;
+  for (const double v : values) {
+    const std::uint64_t bits = std::bit_cast<std::uint64_t>(v);
+    for (int i = 0; i < 8; ++i)
+      block[filled + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>((bits >> (8 * i)) & 0xFFu);
+    filled += 8;
+    if (filled == block.size()) {
+      append(block.data(), filled);
+      filled = 0;
+    }
+  }
+  if (filled > 0) append(block.data(), filled);
 }
 
 void WireWriter::str(const std::string& s) {
   u64(s.size());
-  out_->insert(out_->end(), s.begin(), s.end());
+  append(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
 }
 
 // ---- WireReader -------------------------------------------------------
@@ -147,9 +191,22 @@ std::size_t WireReader::size() {
 }
 
 void WireReader::doubles(std::size_t count, std::vector<double>& out) {
-  if (!take(count * sizeof(double))) return;
+  // Overflow-safe bulk bound check, then direct decodes: one range check
+  // for the whole block instead of one per double.
+  if (!ok_ || count > (data_.size() - pos_) / sizeof(double)) {
+    ok_ = false;
+    return;
+  }
   out.resize(count);
-  for (std::size_t i = 0; i < count; ++i) out[i] = f64();
+  const std::uint8_t* p = data_.data() + pos_;
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint64_t bits = 0;
+    for (int b = 0; b < 8; ++b)
+      bits |= static_cast<std::uint64_t>(p[i * 8 + static_cast<std::size_t>(b)])
+              << (8 * b);
+    out[i] = std::bit_cast<double>(bits);
+  }
+  pos_ += count * sizeof(double);
 }
 
 std::string WireReader::str() {
@@ -186,6 +243,23 @@ void end_frame(std::vector<std::uint8_t>& out, std::size_t payload_start) {
                              out.data() + payload_start, length)));
 }
 
+std::uint32_t start_frame_header(FrameHeaderArray& header, FrameType type,
+                                 std::size_t payload_len) {
+  store_u32(header.data(), kWireMagic);
+  store_u16(header.data() + 4, kWireVersion);
+  store_u16(header.data() + 6, static_cast<std::uint16_t>(type));
+  store_u32(header.data() + 8, static_cast<std::uint32_t>(payload_len));
+  store_u32(header.data() + 12, 0);  // crc, patched by finish_frame_header
+  // Seed the chain over version+type+length: the payload writer continues
+  // from here, so the checksum is computed in the same pass that encodes.
+  return crc32_update(
+      0, std::span<const std::uint8_t>(header.data() + 4, 8));
+}
+
+void finish_frame_header(FrameHeaderArray& header, std::uint32_t crc) {
+  store_u32(header.data() + 12, crc);
+}
+
 DecodeStatus try_extract_frame(std::span<const std::uint8_t> buffer,
                                FrameView& view) {
   if (buffer.size() < kFrameHeaderBytes) return DecodeStatus::kNeedMore;
@@ -218,6 +292,7 @@ void encode_hello(const Hello& hello, std::vector<std::uint8_t>& out) {
   WireWriter w(out);
   w.size(hello.rank);
   w.size(hello.processors);
+  w.u64(hello.features);
   end_frame(out, start);
 }
 
@@ -225,15 +300,17 @@ bool decode_hello(std::span<const std::uint8_t> payload, Hello& hello) {
   WireReader r(payload);
   hello.rank = r.size();
   hello.processors = r.size();
+  // The features word is optional: a legacy 16-byte Hello (pre-delta
+  // peers) decodes as features == 0 and gets full boundary frames.
+  hello.features = r.remaining() > 0 ? r.u64() : 0;
   return r.done() && hello.processors > 0 && hello.rank < hello.processors;
 }
 
 // ---- BoundaryMessage --------------------------------------------------
 
-void encode_boundary(const ode::BoundaryMessage& msg,
-                     std::vector<std::uint8_t>& out) {
-  const std::size_t start = begin_frame(out, FrameType::kBoundary);
-  WireWriter w(out);
+namespace {
+
+void write_boundary_payload(WireWriter& w, const ode::BoundaryMessage& msg) {
   w.size(msg.global_first);
   w.size(msg.row_count);
   w.size(msg.points);
@@ -242,7 +319,29 @@ void encode_boundary(const ode::BoundaryMessage& msg,
   w.f64(msg.sender_residual);
   w.f64(msg.sender_load);
   w.doubles(msg.rows);
+}
+
+}  // namespace
+
+void encode_boundary(const ode::BoundaryMessage& msg,
+                     std::vector<std::uint8_t>& out) {
+  const std::size_t start = begin_frame(out, FrameType::kBoundary);
+  WireWriter w(out);
+  write_boundary_payload(w, msg);
   end_frame(out, start);
+}
+
+void encode_boundary_sg(const ode::BoundaryMessage& msg,
+                        FrameHeaderArray& header,
+                        std::vector<std::uint8_t>& payload) {
+  // BoundaryMessage::byte_size() is exactly the wire payload layout (5
+  // u64 + 2 f64 + rows), which is what lets the length go into the header
+  // before the payload is written.
+  std::uint32_t crc = start_frame_header(header, FrameType::kBoundary,
+                                         msg.byte_size());
+  WireWriter w(payload, crc);
+  write_boundary_payload(w, msg);
+  finish_frame_header(header, crc);
 }
 
 bool decode_boundary(std::span<const std::uint8_t> payload,
@@ -267,12 +366,85 @@ bool decode_boundary(std::span<const std::uint8_t> payload,
   return r.done();
 }
 
+// ---- BoundaryDeltaMessage ---------------------------------------------
+
+namespace {
+
+void write_boundary_delta_payload(WireWriter& w,
+                                  const ode::BoundaryDeltaMessage& msg) {
+  w.size(msg.global_first);
+  w.size(msg.row_count);
+  w.size(msg.points);
+  w.size(msg.sender_iteration);
+  w.size(msg.sender_components);
+  w.f64(msg.sender_residual);
+  w.f64(msg.sender_load);
+  w.size(msg.base_epoch);
+  w.size(msg.row_indices.size());
+  for (const std::size_t idx : msg.row_indices) w.size(idx);
+  w.doubles(msg.rows);
+}
+
+}  // namespace
+
+void encode_boundary_delta(const ode::BoundaryDeltaMessage& msg,
+                           std::vector<std::uint8_t>& out) {
+  const std::size_t start = begin_frame(out, FrameType::kBoundaryDelta);
+  WireWriter w(out);
+  write_boundary_delta_payload(w, msg);
+  end_frame(out, start);
+}
+
+void encode_boundary_delta_sg(const ode::BoundaryDeltaMessage& msg,
+                              FrameHeaderArray& header,
+                              std::vector<std::uint8_t>& payload) {
+  std::uint32_t crc = start_frame_header(header, FrameType::kBoundaryDelta,
+                                         msg.byte_size());
+  WireWriter w(payload, crc);
+  write_boundary_delta_payload(w, msg);
+  finish_frame_header(header, crc);
+}
+
+bool decode_boundary_delta(std::span<const std::uint8_t> payload,
+                           ode::BoundaryDeltaMessage& msg) {
+  WireReader r(payload);
+  msg.global_first = r.size();
+  msg.row_count = r.size();
+  msg.points = r.size();
+  msg.sender_iteration = r.size();
+  msg.sender_components = r.size();
+  msg.sender_residual = r.f64();
+  msg.sender_load = r.f64();
+  msg.base_epoch = r.size();
+  const std::size_t changed = r.size();
+  if (!r.ok() || changed > msg.row_count ||
+      changed > r.remaining() / sizeof(std::uint64_t))
+    return false;
+  msg.row_indices.resize(changed);
+  for (std::size_t i = 0; i < changed; ++i) {
+    msg.row_indices[i] = r.size();
+    // Strictly ascending and in range: a delta can name each row of the
+    // full message at most once, in order.
+    if (msg.row_indices[i] >= msg.row_count ||
+        (i > 0 && msg.row_indices[i] <= msg.row_indices[i - 1]))
+      return false;
+  }
+  if (!r.ok() || r.remaining() % sizeof(double) != 0) return false;
+  const std::size_t n_doubles = r.remaining() / sizeof(double);
+  if (msg.points == 0 ? n_doubles != 0
+                      : changed != n_doubles / msg.points ||
+                            changed * msg.points != n_doubles)
+    return false;
+  r.doubles(n_doubles, msg.rows);
+  return r.done();
+}
+
 // ---- MigrationPayload -------------------------------------------------
 
-void encode_migration(const ode::MigrationPayload& payload,
-                      std::vector<std::uint8_t>& out) {
-  const std::size_t start = begin_frame(out, FrameType::kMigration);
-  WireWriter w(out);
+namespace {
+
+void write_migration_payload(WireWriter& w,
+                             const ode::MigrationPayload& payload) {
   w.u8(payload.direction == ode::MigrationPayload::Direction::kToLeft ? 0
                                                                       : 1);
   w.size(payload.row_first);
@@ -280,7 +452,27 @@ void encode_migration(const ode::MigrationPayload& payload,
   w.size(payload.stencil);
   w.size(payload.points);
   w.doubles(payload.rows);
+}
+
+}  // namespace
+
+void encode_migration(const ode::MigrationPayload& payload,
+                      std::vector<std::uint8_t>& out) {
+  const std::size_t start = begin_frame(out, FrameType::kMigration);
+  WireWriter w(out);
+  write_migration_payload(w, payload);
   end_frame(out, start);
+}
+
+void encode_migration_sg(const ode::MigrationPayload& payload,
+                         FrameHeaderArray& header,
+                         std::vector<std::uint8_t>& body) {
+  const std::size_t len =
+      1 + 4 * sizeof(std::uint64_t) + payload.rows.size() * sizeof(double);
+  std::uint32_t crc = start_frame_header(header, FrameType::kMigration, len);
+  WireWriter w(body, crc);
+  write_migration_payload(w, payload);
+  finish_frame_header(header, crc);
 }
 
 bool decode_migration(std::span<const std::uint8_t> data,
@@ -310,16 +502,34 @@ bool decode_migration(std::span<const std::uint8_t> data,
 
 // ---- ControlFrame -----------------------------------------------------
 
-void encode_control(const algo::ControlFrame& frame,
-                    std::vector<std::uint8_t>& out) {
-  const std::size_t start = begin_frame(out, FrameType::kControl);
-  WireWriter w(out);
+namespace {
+
+void write_control_payload(WireWriter& w, const algo::ControlFrame& frame) {
   w.u8(static_cast<std::uint8_t>(frame.kind));
   w.size(frame.sender);
   w.size(frame.epoch);
   w.size(frame.count);
   w.u8(frame.flag ? 1 : 0);
+}
+
+}  // namespace
+
+void encode_control(const algo::ControlFrame& frame,
+                    std::vector<std::uint8_t>& out) {
+  const std::size_t start = begin_frame(out, FrameType::kControl);
+  WireWriter w(out);
+  write_control_payload(w, frame);
   end_frame(out, start);
+}
+
+void encode_control_sg(const algo::ControlFrame& frame,
+                       FrameHeaderArray& header,
+                       std::vector<std::uint8_t>& payload) {
+  constexpr std::size_t kLen = 2 + 3 * sizeof(std::uint64_t);
+  std::uint32_t crc = start_frame_header(header, FrameType::kControl, kLen);
+  WireWriter w(payload, crc);
+  write_control_payload(w, frame);
+  finish_frame_header(header, crc);
 }
 
 bool decode_control(std::span<const std::uint8_t> payload,
@@ -343,11 +553,24 @@ void encode_empty(FrameType type, std::vector<std::uint8_t>& out) {
   end_frame(out, start);
 }
 
+void encode_empty_sg(FrameType type, FrameHeaderArray& header) {
+  const std::uint32_t crc = start_frame_header(header, type, 0);
+  finish_frame_header(header, crc);
+}
+
 void encode_goodbye(bool failed, std::vector<std::uint8_t>& out) {
   const std::size_t start = begin_frame(out, FrameType::kGoodbye);
   WireWriter w(out);
   w.u8(failed ? 1 : 0);
   end_frame(out, start);
+}
+
+void encode_goodbye_sg(bool failed, FrameHeaderArray& header,
+                       std::vector<std::uint8_t>& payload) {
+  std::uint32_t crc = start_frame_header(header, FrameType::kGoodbye, 1);
+  WireWriter w(payload, crc);
+  w.u8(failed ? 1 : 0);
+  finish_frame_header(header, crc);
 }
 
 bool decode_goodbye(std::span<const std::uint8_t> payload, bool& failed) {
@@ -518,6 +741,46 @@ bool decode_trace_migrations(std::span<const std::uint8_t> payload,
     m.dst = r.size();
     m.time = r.f64();
     m.components = r.size();
+  }
+  return r.done();
+}
+
+void encode_trace_comms(std::span<const trace::CommsRecord> records,
+                        std::vector<std::uint8_t>& out) {
+  const std::size_t start = begin_frame(out, FrameType::kTraceComms);
+  WireWriter w(out);
+  w.size(records.size());
+  for (const auto& c : records) {
+    w.size(c.src);
+    w.size(c.dst);
+    w.size(c.frames_sent);
+    w.size(c.frames_full);
+    w.size(c.frames_delta);
+    w.size(c.frames_suppressed);
+    w.size(c.rows_suppressed);
+    w.size(c.bytes_sent);
+    w.size(c.bytes_received);
+  }
+  end_frame(out, start);
+}
+
+bool decode_trace_comms(std::span<const std::uint8_t> payload,
+                        std::vector<trace::CommsRecord>& records) {
+  WireReader r(payload);
+  constexpr std::size_t kRecordBytes = 9 * 8;
+  const std::size_t n = r.size();
+  if (!r.ok() || n > r.remaining() / kRecordBytes) return false;
+  records.resize(n);
+  for (auto& c : records) {
+    c.src = r.size();
+    c.dst = r.size();
+    c.frames_sent = r.size();
+    c.frames_full = r.size();
+    c.frames_delta = r.size();
+    c.frames_suppressed = r.size();
+    c.rows_suppressed = r.size();
+    c.bytes_sent = r.size();
+    c.bytes_received = r.size();
   }
   return r.done();
 }

@@ -30,7 +30,10 @@
 #include <string>
 #include <vector>
 
+#include <array>
+
 #include "algo/runtime_ifaces.hpp"
+#include "ode/boundary_delta.hpp"
 #include "ode/waveform_block.hpp"
 #include "trace/execution_trace.hpp"
 
@@ -58,6 +61,8 @@ enum class FrameType : std::uint16_t {
   kTraceIterations = 10,  // worker -> launcher: per-rank trace records
   kTraceMessages = 11,
   kTraceMigrations = 12,
+  kBoundaryDelta = 13,    // ode::BoundaryDeltaMessage (thinned ghost rows)
+  kTraceComms = 14,       // worker -> launcher: per-link comms totals
 };
 
 /// True for values that name an actual FrameType enumerator.
@@ -86,6 +91,13 @@ std::uint32_t crc32_update(std::uint32_t state,
 class WireWriter {
  public:
   explicit WireWriter(std::vector<std::uint8_t>& out) : out_(&out) {}
+  /// CRC-fused variant: every appended byte also advances `crc` through
+  /// the incremental crc32_update chain, so the sized-frame encoders
+  /// checksum the payload in the same pass that writes it. (The
+  /// begin_frame/end_frame path instead re-walks the payload at
+  /// end_frame.)
+  WireWriter(std::vector<std::uint8_t>& out, std::uint32_t& crc)
+      : out_(&out), crc_(&crc) {}
 
   void u8(std::uint8_t v);
   void u16(std::uint16_t v);
@@ -97,7 +109,9 @@ class WireWriter {
   void str(const std::string& s);  // u64 length + raw bytes
 
  private:
+  void append(const std::uint8_t* data, std::size_t n);
   std::vector<std::uint8_t>* out_;
+  std::uint32_t* crc_ = nullptr;
 };
 
 /// Bounds-checked reads over a payload span. Any out-of-range read flips
@@ -138,6 +152,22 @@ class WireReader {
 std::size_t begin_frame(std::vector<std::uint8_t>& out, FrameType type);
 void end_frame(std::vector<std::uint8_t>& out, std::size_t payload_start);
 
+/// A complete 16-byte frame header as its own block — the first iovec of
+/// a scatter-gather send, paired with a pooled payload buffer.
+using FrameHeaderArray = std::array<std::uint8_t, kFrameHeaderBytes>;
+
+/// Single-pass scatter-gather frame assembly. The payload length is
+/// declared up front, so the whole header except the CRC field is written
+/// immediately and the return value seeds the CRC chain over the
+/// version/type/length bytes; stream the payload through a CRC-fused
+/// WireWriter from that seed, then patch the checksum with
+/// finish_frame_header. Unlike begin_frame/end_frame, every payload byte
+/// is walked exactly once, and header and payload can live in separate
+/// buffers (writev sends them without reassembly).
+std::uint32_t start_frame_header(FrameHeaderArray& header, FrameType type,
+                                 std::size_t payload_len);
+void finish_frame_header(FrameHeaderArray& header, std::uint32_t crc);
+
 enum class DecodeStatus {
   kOk,        // one whole valid frame extracted
   kNeedMore,  // buffer holds a frame prefix; read more bytes
@@ -163,9 +193,15 @@ DecodeStatus try_extract_frame(std::span<const std::uint8_t> buffer,
 // (sizes that disagree with the payload length, unknown enum values).
 // Decoded rows reuse the capacity of the caller's vectors.
 
+/// Capability bits advertised in Hello (bitwise OR). A legacy 16-byte
+/// Hello payload decodes as features == 0, so a peer that predates the
+/// field simply advertises nothing and gets full boundary frames.
+inline constexpr std::uint64_t kFeatureDeltaBoundary = 1;
+
 struct Hello {
   std::size_t rank = 0;
   std::size_t processors = 0;
+  std::uint64_t features = 0;
 };
 
 void encode_hello(const Hello& hello, std::vector<std::uint8_t>& out);
@@ -175,24 +211,46 @@ void encode_boundary(const ode::BoundaryMessage& msg,
                      std::vector<std::uint8_t>& out);
 bool decode_boundary(std::span<const std::uint8_t> payload,
                      ode::BoundaryMessage& msg);
+/// Scatter-gather form: header into `header`, payload appended to
+/// `payload` (a pooled buffer), CRC fused into the encode pass.
+void encode_boundary_sg(const ode::BoundaryMessage& msg,
+                        FrameHeaderArray& header,
+                        std::vector<std::uint8_t>& payload);
+
+void encode_boundary_delta(const ode::BoundaryDeltaMessage& msg,
+                           std::vector<std::uint8_t>& out);
+bool decode_boundary_delta(std::span<const std::uint8_t> payload,
+                           ode::BoundaryDeltaMessage& msg);
+void encode_boundary_delta_sg(const ode::BoundaryDeltaMessage& msg,
+                              FrameHeaderArray& header,
+                              std::vector<std::uint8_t>& payload);
 
 void encode_migration(const ode::MigrationPayload& payload,
                       std::vector<std::uint8_t>& out);
 bool decode_migration(std::span<const std::uint8_t> data,
                       ode::MigrationPayload& payload);
+void encode_migration_sg(const ode::MigrationPayload& payload,
+                         FrameHeaderArray& header,
+                         std::vector<std::uint8_t>& body);
 
 void encode_control(const algo::ControlFrame& frame,
                     std::vector<std::uint8_t>& out);
 bool decode_control(std::span<const std::uint8_t> payload,
                     algo::ControlFrame& frame);
+void encode_control_sg(const algo::ControlFrame& frame,
+                       FrameHeaderArray& header,
+                       std::vector<std::uint8_t>& payload);
 
 /// Frames whose payload is empty (acks, token handshake).
 void encode_empty(FrameType type, std::vector<std::uint8_t>& out);
+void encode_empty_sg(FrameType type, FrameHeaderArray& header);
 
 /// Goodbye carries one flag: whether the sender is aborting (budget
 /// exhausted, peer lost) rather than halting on detected convergence.
 void encode_goodbye(bool failed, std::vector<std::uint8_t>& out);
 bool decode_goodbye(std::span<const std::uint8_t> payload, bool& failed);
+void encode_goodbye_sg(bool failed, FrameHeaderArray& header,
+                       std::vector<std::uint8_t>& payload);
 
 // ---- Launcher-side aggregation payloads -------------------------------
 
@@ -243,5 +301,10 @@ void encode_trace_migrations(
     std::vector<std::uint8_t>& out);
 bool decode_trace_migrations(std::span<const std::uint8_t> payload,
                              std::vector<trace::MigrationRecord>& records);
+
+void encode_trace_comms(std::span<const trace::CommsRecord> records,
+                        std::vector<std::uint8_t>& out);
+bool decode_trace_comms(std::span<const std::uint8_t> payload,
+                        std::vector<trace::CommsRecord>& records);
 
 }  // namespace aiac::net

@@ -19,6 +19,8 @@
 // uncontended lock per acquire, which keeps one implementation for both.)
 #pragma once
 
+#include <algorithm>
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
@@ -60,16 +62,20 @@ class BasicBufferPool {
     std::lock_guard<std::mutex> lock(mutex_);
     if (free_.size() >= max_buffers_) return;  // excess deallocates here
     free_.push_back(std::move(buffer));
+    high_water_ = std::max(high_water_, free_.size());
   }
 
   struct Stats {
     std::size_t hits = 0;    // acquires served from the free list
     std::size_t misses = 0;  // acquires that returned an empty buffer
     std::size_t free = 0;    // buffers currently pooled
+    /// Most buffers the free list ever held at once — the pool's peak
+    /// retained footprint in buffer count (capacities vary per buffer).
+    std::size_t high_water = 0;
   };
   Stats stats() const {
     std::lock_guard<std::mutex> lock(mutex_);
-    return {hits_, misses_, free_.size()};
+    return {hits_, misses_, free_.size(), high_water_};
   }
 
  private:
@@ -78,11 +84,27 @@ class BasicBufferPool {
   std::size_t max_buffers_;
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
+  std::size_t high_water_ = 0;
 };
 
 /// Row buffers (trajectory data) — the threaded engine's pool.
 using BufferPool = BasicBufferPool<double>;
 /// Encoded-frame scratch buffers — the socket backend's pool.
 using BytePool = BasicBufferPool<std::uint8_t>;
+
+/// One outgoing frame staged for scatter-gather I/O: a fixed-size header
+/// block plus a pool-recycled payload buffer, kept as two segments so
+/// sendmsg/writev can put both on the wire without reassembling them into
+/// one contiguous allocation. The payload vector comes from (and returns
+/// to) a BytePool; the header block lives inline in the queue node.
+template <std::size_t HeaderBytes>
+struct ScatterFrame {
+  std::array<std::uint8_t, HeaderBytes> header{};
+  std::vector<std::uint8_t> payload;
+
+  std::size_t total_bytes() const noexcept {
+    return HeaderBytes + payload.size();
+  }
+};
 
 }  // namespace aiac::runtime

@@ -26,6 +26,11 @@ void ExecutionTrace::record_migration(MigrationRecord record) {
   migrations_.push_back(record);
 }
 
+void ExecutionTrace::record_comms(CommsRecord record) {
+  processors_ = std::max({processors_, record.src + 1, record.dst + 1});
+  comms_.push_back(record);
+}
+
 void ExecutionTrace::record_fault(FaultRecord record) {
   processors_ = std::max(processors_, record.source + 1);
   faults_.push_back(std::move(record));
@@ -39,6 +44,7 @@ void ExecutionTrace::merge(const ExecutionTrace& other) {
                    other.messages_.end());
   migrations_.insert(migrations_.end(), other.migrations_.begin(),
                      other.migrations_.end());
+  comms_.insert(comms_.end(), other.comms_.begin(), other.comms_.end());
   faults_.insert(faults_.end(), other.faults_.begin(), other.faults_.end());
   // Stable: faults of equal sequence (distinct injectors with independent
   // counters) keep their per-trace order.
@@ -108,6 +114,41 @@ void ExecutionTrace::write_migrations_csv(std::ostream& out) const {
   for (const auto& m : migrations_)
     out << m.src << ',' << m.dst << ',' << m.time << ',' << m.components
         << '\n';
+}
+
+void ExecutionTrace::write_comms_csv(std::ostream& out) const {
+  out << "src,dst,frames_sent,frames_full,frames_delta,frames_suppressed,"
+         "rows_suppressed,bytes_sent,bytes_received\n";
+  // Sum records per directed link: merged per-rank traces may each hold a
+  // partial record for the same pair (a sender's bytes_sent and the
+  // receiver's bytes_received arrive in separate records).
+  std::vector<CommsRecord> totals;
+  for (const auto& c : comms_) {
+    auto it = std::find_if(totals.begin(), totals.end(),
+                           [&](const CommsRecord& t) {
+                             return t.src == c.src && t.dst == c.dst;
+                           });
+    if (it == totals.end()) {
+      totals.push_back(c);
+      continue;
+    }
+    it->frames_sent += c.frames_sent;
+    it->frames_full += c.frames_full;
+    it->frames_delta += c.frames_delta;
+    it->frames_suppressed += c.frames_suppressed;
+    it->rows_suppressed += c.rows_suppressed;
+    it->bytes_sent += c.bytes_sent;
+    it->bytes_received += c.bytes_received;
+  }
+  std::stable_sort(totals.begin(), totals.end(),
+                   [](const CommsRecord& a, const CommsRecord& b) {
+                     return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+                   });
+  for (const auto& c : totals)
+    out << c.src << ',' << c.dst << ',' << c.frames_sent << ','
+        << c.frames_full << ',' << c.frames_delta << ','
+        << c.frames_suppressed << ',' << c.rows_suppressed << ','
+        << c.bytes_sent << ',' << c.bytes_received << '\n';
 }
 
 void ExecutionTrace::write_faults_csv(std::ostream& out) const {

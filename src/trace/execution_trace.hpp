@@ -40,6 +40,23 @@ struct MigrationRecord {
   std::size_t components = 0;
 };
 
+/// Per-directed-link communication totals for one run: how many frames a
+/// sender queued, how many of those were delta-thinned or suppressed
+/// outright, and the byte totals in each direction. One record per (src,
+/// dst) pair with traffic; the socket backend reports wire-true numbers,
+/// the sim/thread backends the equivalent accounting (DESIGN.md §14).
+struct CommsRecord {
+  std::size_t src = 0;
+  std::size_t dst = 0;
+  std::size_t frames_sent = 0;       // frames that reached the link
+  std::size_t frames_full = 0;       // full boundary frames among them
+  std::size_t frames_delta = 0;      // delta boundary frames among them
+  std::size_t frames_suppressed = 0; // boundary frames coalesced/displaced
+  std::size_t rows_suppressed = 0;   // rows thinned out of delta frames
+  std::size_t bytes_sent = 0;
+  std::size_t bytes_received = 0;
+};
+
 /// One injected fault (chaos layer, threaded backend): what was perturbed,
 /// where, when, and by how much — enough to replay/explain a perturbed run
 /// alongside its iteration records.
@@ -56,6 +73,7 @@ class ExecutionTrace {
   void record_iteration(IterationRecord record);
   void record_message(MessageRecord record);
   void record_migration(MigrationRecord record);
+  void record_comms(CommsRecord record);
   void record_fault(FaultRecord record);
   void set_processor_count(std::size_t count) { processors_ = count; }
 
@@ -78,6 +96,7 @@ class ExecutionTrace {
   const std::vector<MigrationRecord>& migrations() const noexcept {
     return migrations_;
   }
+  const std::vector<CommsRecord>& comms() const noexcept { return comms_; }
   const std::vector<FaultRecord>& faults() const noexcept { return faults_; }
 
   /// Last iteration end over all processors (the makespan).
@@ -98,6 +117,11 @@ class ExecutionTrace {
   void write_messages_csv(std::ostream& out) const;
   /// Writes "src,dst,time,components" rows.
   void write_migrations_csv(std::ostream& out) const;
+  /// Writes per-link comms totals: "src,dst,frames_sent,frames_full,
+  /// frames_delta,frames_suppressed,rows_suppressed,bytes_sent,
+  /// bytes_received" rows. Records for the same (src, dst) pair (e.g.
+  /// merged from per-rank traces) are summed into one row.
+  void write_comms_csv(std::ostream& out) const;
   /// Writes "sequence,source,time,kind,magnitude" rows.
   void write_faults_csv(std::ostream& out) const;
   /// ASCII Gantt chart: one line per processor, `width` characters across
@@ -110,6 +134,7 @@ class ExecutionTrace {
   std::vector<IterationRecord> iterations_;
   std::vector<MessageRecord> messages_;
   std::vector<MigrationRecord> migrations_;
+  std::vector<CommsRecord> comms_;
   std::vector<FaultRecord> faults_;
 };
 

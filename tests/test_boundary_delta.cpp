@@ -1,0 +1,264 @@
+// Unit tests for the boundary delta protocol (src/ode/boundary_delta.hpp):
+// the sender-side planner (full-vs-delta decision, ever-dirty row set,
+// forced refresh, shape rebasing) and the receiver-side in-place patch
+// (epoch gating, shape/index validation, error bound). A randomized
+// sender/receiver drill with message loss closes the loop: whatever the
+// planner thins, the receiver's ghost rows never drift beyond the
+// threshold from the sender's truth.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <random>
+#include <vector>
+
+#include "ode/boundary_delta.hpp"
+
+namespace {
+
+using aiac::ode::apply_boundary_delta;
+using aiac::ode::BoundaryDeltaMessage;
+using aiac::ode::BoundaryDeltaSender;
+using aiac::ode::BoundaryMessage;
+
+BoundaryMessage make_full(std::size_t rows, std::size_t points,
+                          double value, std::size_t iteration) {
+  BoundaryMessage msg;
+  msg.global_first = 10;
+  msg.row_count = rows;
+  msg.points = points;
+  msg.sender_iteration = iteration;
+  msg.sender_components = 42;
+  msg.sender_residual = 0.5;
+  msg.sender_load = 1.5;
+  msg.rows.assign(rows * points, value);
+  return msg;
+}
+
+BoundaryDeltaSender::Config config(double threshold,
+                                   std::size_t refresh = 32) {
+  BoundaryDeltaSender::Config c;
+  c.threshold = threshold;
+  c.refresh_period = refresh;
+  return c;
+}
+
+TEST(BoundaryDeltaPlanner, FirstSendIsAlwaysFull) {
+  BoundaryDeltaSender sender(config(0.1));
+  BoundaryDeltaMessage delta;
+  const BoundaryMessage full = make_full(3, 4, 1.0, 7);
+  EXPECT_EQ(sender.plan(full, delta), BoundaryDeltaSender::Plan::kFull);
+  EXPECT_EQ(sender.full_frames(), 1u);
+  EXPECT_EQ(sender.delta_frames(), 0u);
+}
+
+TEST(BoundaryDeltaPlanner, QuietLinkThinsToEmptyDelta) {
+  BoundaryDeltaSender sender(config(0.1));
+  BoundaryDeltaMessage delta;
+  BoundaryMessage full = make_full(3, 4, 1.0, 7);
+  ASSERT_EQ(sender.plan(full, delta), BoundaryDeltaSender::Plan::kFull);
+
+  full.sender_iteration = 8;
+  full.rows.assign(full.rows.size(), 1.05);  // inside the 0.1 threshold
+  ASSERT_EQ(sender.plan(full, delta), BoundaryDeltaSender::Plan::kDelta);
+  EXPECT_TRUE(delta.row_indices.empty());
+  EXPECT_TRUE(delta.rows.empty());
+  EXPECT_EQ(delta.base_epoch, 7u);            // names the full frame
+  EXPECT_EQ(delta.sender_iteration, 8u);      // but carries fresh metadata
+  EXPECT_EQ(sender.rows_suppressed(), 3u);
+  // A quiet link costs the fixed header regardless of row width.
+  EXPECT_EQ(delta.byte_size(), 9 * sizeof(std::size_t));
+}
+
+TEST(BoundaryDeltaPlanner, OnlyRowsBeyondThresholdAreCarried) {
+  BoundaryDeltaSender sender(config(0.1));
+  BoundaryDeltaMessage delta;
+  BoundaryMessage full = make_full(3, 2, 1.0, 1);
+  ASSERT_EQ(sender.plan(full, delta), BoundaryDeltaSender::Plan::kFull);
+
+  full.sender_iteration = 2;
+  full.rows[2] = 2.0;  // row 1 moved; rows 0 and 2 did not
+  ASSERT_EQ(sender.plan(full, delta), BoundaryDeltaSender::Plan::kDelta);
+  ASSERT_EQ(delta.row_indices, (std::vector<std::size_t>{1}));
+  EXPECT_EQ(delta.rows, (std::vector<double>{2.0, 1.0}));
+}
+
+TEST(BoundaryDeltaPlanner, DirtyRowsStayInEveryDeltaUntilRefresh) {
+  // Ever-dirty semantics: deltas are cumulative against the baseline, so
+  // a receiver that missed an earlier delta still converges on the next
+  // one. A row that moved once is carried forever, even after it returns
+  // to its baseline value.
+  BoundaryDeltaSender sender(config(0.1));
+  BoundaryDeltaMessage delta;
+  BoundaryMessage full = make_full(3, 4, 1.0, 1);
+  ASSERT_EQ(sender.plan(full, delta), BoundaryDeltaSender::Plan::kFull);
+
+  full.sender_iteration = 2;
+  full.rows[0] = 5.0;
+  ASSERT_EQ(sender.plan(full, delta), BoundaryDeltaSender::Plan::kDelta);
+  ASSERT_EQ(delta.row_indices, (std::vector<std::size_t>{0}));
+
+  full.sender_iteration = 3;
+  full.rows[0] = 1.0;  // back to baseline — still dirty, still carried
+  ASSERT_EQ(sender.plan(full, delta), BoundaryDeltaSender::Plan::kDelta);
+  ASSERT_EQ(delta.row_indices, (std::vector<std::size_t>{0}));
+  EXPECT_EQ(delta.rows, (std::vector<double>{1.0, 1.0, 1.0, 1.0}));
+}
+
+TEST(BoundaryDeltaPlanner, FatDeltaRebasesInsteadOfOutgrowingTheFull) {
+  // When every row moved, a delta would carry the whole payload *plus*
+  // the delta header and indices — more wire than the full frame. The
+  // planner must rebase instead, which also resets the ever-dirty set.
+  BoundaryDeltaSender sender(config(0.1));
+  BoundaryDeltaMessage delta;
+  BoundaryMessage full = make_full(2, 4, 1.0, 1);
+  ASSERT_EQ(sender.plan(full, delta), BoundaryDeltaSender::Plan::kFull);
+
+  full.sender_iteration = 2;
+  full.rows.assign(full.rows.size(), 9.0);  // both rows dirty
+  ASSERT_EQ(sender.plan(full, delta), BoundaryDeltaSender::Plan::kFull);
+  EXPECT_EQ(sender.full_frames(), 2u);
+  EXPECT_EQ(sender.delta_frames(), 0u);
+
+  // The rebase reset the dirty set: a quiet send now thins immediately,
+  // against the new baseline and epoch.
+  full.sender_iteration = 3;
+  ASSERT_EQ(sender.plan(full, delta), BoundaryDeltaSender::Plan::kDelta);
+  EXPECT_TRUE(delta.row_indices.empty());
+  EXPECT_EQ(delta.base_epoch, 2u);
+}
+
+TEST(BoundaryDeltaPlanner, RefreshPeriodForcesFull) {
+  BoundaryDeltaSender sender(config(0.1, /*refresh=*/2));
+  BoundaryDeltaMessage delta;
+  BoundaryMessage full = make_full(2, 4, 1.0, 0);
+  ASSERT_EQ(sender.plan(full, delta), BoundaryDeltaSender::Plan::kFull);
+  for (std::size_t send = 1; send <= 6; ++send) {
+    full.sender_iteration = send;
+    const auto plan = sender.plan(full, delta);
+    // Sends 1,2 are deltas, 3 refreshes, 4,5 are deltas, 6 refreshes.
+    if (send % 3 == 0)
+      EXPECT_EQ(plan, BoundaryDeltaSender::Plan::kFull) << send;
+    else
+      EXPECT_EQ(plan, BoundaryDeltaSender::Plan::kDelta) << send;
+  }
+}
+
+TEST(BoundaryDeltaPlanner, ShapeChangeAndForceFullRebase) {
+  BoundaryDeltaSender sender(config(0.1));
+  BoundaryDeltaMessage delta;
+  BoundaryMessage full = make_full(3, 2, 1.0, 1);
+  ASSERT_EQ(sender.plan(full, delta), BoundaryDeltaSender::Plan::kFull);
+
+  // Migration moved the boundary: different global_first → full.
+  full.sender_iteration = 2;
+  full.global_first = 11;
+  ASSERT_EQ(sender.plan(full, delta), BoundaryDeltaSender::Plan::kFull);
+
+  // Caller-demanded rebase (transport holds an unsent full frame).
+  full.sender_iteration = 3;
+  ASSERT_EQ(sender.plan(full, delta, /*force_full=*/true),
+            BoundaryDeltaSender::Plan::kFull);
+
+  // After the forced rebase the link thins again.
+  full.sender_iteration = 4;
+  ASSERT_EQ(sender.plan(full, delta), BoundaryDeltaSender::Plan::kDelta);
+  EXPECT_EQ(delta.base_epoch, 3u);
+}
+
+TEST(BoundaryDeltaApply, PatchesRowsAndMetadataInPlace) {
+  BoundaryDeltaSender sender(config(0.1));
+  BoundaryDeltaMessage delta;
+  BoundaryMessage full = make_full(3, 2, 1.0, 5);
+  ASSERT_EQ(sender.plan(full, delta), BoundaryDeltaSender::Plan::kFull);
+  BoundaryMessage inbox = full;  // receiver ingested the baseline
+
+  full.sender_iteration = 6;
+  full.sender_residual = 0.25;
+  full.rows[4] = 3.0;
+  full.rows[5] = 4.0;
+  ASSERT_EQ(sender.plan(full, delta), BoundaryDeltaSender::Plan::kDelta);
+  ASSERT_TRUE(apply_boundary_delta(delta, /*inbox_epoch=*/5, inbox));
+  EXPECT_EQ(inbox.rows, full.rows);
+  EXPECT_EQ(inbox.sender_iteration, 6u);
+  EXPECT_EQ(inbox.sender_residual, 0.25);
+}
+
+TEST(BoundaryDeltaApply, EpochAndShapeMismatchesAreRejectedUntouched) {
+  BoundaryDeltaMessage delta;
+  delta.global_first = 10;
+  delta.row_count = 2;
+  delta.points = 1;
+  delta.base_epoch = 5;
+  delta.row_indices = {0};
+  delta.rows = {9.0};
+
+  BoundaryMessage inbox = make_full(2, 1, 1.0, 5);
+  const std::vector<double> before = inbox.rows;
+
+  // Wrong epoch: the delta names a baseline this inbox does not hold.
+  EXPECT_FALSE(apply_boundary_delta(delta, /*inbox_epoch=*/4, inbox));
+  EXPECT_EQ(inbox.rows, before);
+
+  // Wrong shape.
+  BoundaryMessage other = make_full(3, 1, 1.0, 5);
+  EXPECT_FALSE(apply_boundary_delta(delta, 5, other));
+
+  // Malformed indices: out of range, then non-ascending.
+  delta.row_indices = {2};
+  EXPECT_FALSE(apply_boundary_delta(delta, 5, inbox));
+  delta.row_indices = {1, 1};
+  delta.rows = {9.0, 9.0};
+  EXPECT_FALSE(apply_boundary_delta(delta, 5, inbox));
+  EXPECT_EQ(inbox.rows, before);
+}
+
+TEST(BoundaryDeltaDrill, LossyLinkNeverDriftsPastThreshold) {
+  // End-to-end protocol drill: the sender plans every message, the wire
+  // randomly drops deltas (a real link cannot drop frames, but a dying
+  // one can — and coalescing replaces them), and the receiver applies
+  // what arrives with the epoch rule. Invariant: after every *delivered*
+  // frame, each ghost row the receiver holds is within threshold of the
+  // sender's matching row at that send.
+  const double threshold = 0.05;
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    std::mt19937_64 rng(seed);
+    BoundaryDeltaSender sender(config(threshold, /*refresh=*/8));
+    BoundaryDeltaMessage delta;
+    BoundaryMessage truth = make_full(4, 3, 0.0, 0);
+    BoundaryMessage inbox;
+    std::size_t inbox_epoch = 0;
+    bool have_inbox = false;
+
+    std::vector<double> walk(truth.rows.size(), 0.0);
+    for (std::size_t step = 1; step <= 200; ++step) {
+      // Random walk with occasional jumps so some rows cross the
+      // threshold and others idle below it.
+      for (double& v : walk)
+        v += (rng() % 1000 / 1000.0 - 0.5) *
+             (rng() % 16 == 0 ? 1.0 : 0.004);
+      truth.rows = walk;
+      truth.sender_iteration = step;
+
+      const auto plan = sender.plan(truth, delta);
+      if (plan == BoundaryDeltaSender::Plan::kFull) {
+        // Full frames always arrive (coalescing only replaces full with
+        // full, so the epoch chain is preserved).
+        inbox = truth;
+        inbox_epoch = truth.sender_iteration;
+        have_inbox = true;
+      } else {
+        if (rng() % 4 == 0) continue;  // the wire dropped this delta
+        ASSERT_TRUE(have_inbox);
+        ASSERT_TRUE(apply_boundary_delta(delta, inbox_epoch, inbox))
+            << "seed " << seed << " step " << step;
+      }
+      for (std::size_t i = 0; i < truth.rows.size(); ++i)
+        ASSERT_LE(std::abs(inbox.rows[i] - truth.rows[i]), threshold)
+            << "seed " << seed << " step " << step << " value " << i;
+    }
+    EXPECT_GT(sender.rows_suppressed(), 0u) << "seed " << seed;
+  }
+}
+
+}  // namespace

@@ -94,16 +94,19 @@ TEST(NetWireGolden, EmptyFrameLayout) {
 
 TEST(NetWireGolden, HelloLayout) {
   std::vector<std::uint8_t> bytes;
-  encode_hello({/*rank=*/3, /*processors=*/8}, bytes);
-  ASSERT_EQ(bytes.size(), kFrameHeaderBytes + 16);
+  encode_hello({/*rank=*/3, /*processors=*/8,
+                /*features=*/kFeatureDeltaBoundary},
+               bytes);
+  ASSERT_EQ(bytes.size(), kFrameHeaderBytes + 24);
   const std::vector<std::uint8_t> payload = {
       0x03, 0, 0, 0, 0, 0, 0, 0,  // rank u64 LE
       0x08, 0, 0, 0, 0, 0, 0, 0,  // processors u64 LE
+      0x01, 0, 0, 0, 0, 0, 0, 0,  // features: kFeatureDeltaBoundary
   };
   EXPECT_TRUE(std::equal(payload.begin(), payload.end(),
                          bytes.begin() + kFrameHeaderBytes));
   EXPECT_EQ(bytes[6], 0x01);  // FrameType::kHello
-  EXPECT_EQ(bytes[8], 16);    // payload length
+  EXPECT_EQ(bytes[8], 24);    // payload length
   // CRC field (algorithm pinned above) covers version+type+length+payload.
   std::uint32_t stored = 0;
   std::memcpy(&stored, bytes.data() + 12, 4);
@@ -170,6 +173,22 @@ void ref_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
 
 void ref_f64(std::vector<std::uint8_t>& out, double v) {
   ref_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+TEST(NetWireCompat, Legacy16ByteHelloDecodesAsFeatureless) {
+  // A peer that predates the features word sends rank + processors only.
+  // Decoding must succeed with features == 0 — the negotiation rule then
+  // keeps that link on full boundary frames forever, which is the
+  // always-correct fallback (deltas need both ends to opt in).
+  std::vector<std::uint8_t> payload;
+  ref_u64(payload, 3);
+  ref_u64(payload, 8);
+  Hello hello;
+  hello.features = kFeatureDeltaBoundary;  // stale value must be cleared
+  ASSERT_TRUE(decode_hello(payload, hello));
+  EXPECT_EQ(hello.rank, 3u);
+  EXPECT_EQ(hello.processors, 8u);
+  EXPECT_EQ(hello.features & kFeatureDeltaBoundary, 0u);
 }
 
 TEST(NetWireGolden, TokenRequestLayout) {
@@ -288,6 +307,78 @@ TEST(NetWireGolden, TraceMigrationsLayout) {
                          bytes.begin() + kFrameHeaderBytes));
 }
 
+TEST(NetWireGolden, BoundaryDeltaLayout) {
+  // Pins the delta payload: the 7 BoundaryMessage header fields, the
+  // base epoch, the changed-row count, ascending indices, then the rows.
+  ode::BoundaryDeltaMessage msg;
+  msg.global_first = 5;
+  msg.row_count = 4;
+  msg.points = 2;
+  msg.sender_iteration = 11;
+  msg.sender_components = 9;
+  msg.sender_residual = 1.0;
+  msg.sender_load = -2.0;
+  msg.base_epoch = 7;
+  msg.row_indices = {1, 3};
+  msg.rows = {0.5, 2.0, 1.0, -2.0};
+  std::vector<std::uint8_t> bytes;
+  encode_boundary_delta(msg, bytes);
+
+  std::vector<std::uint8_t> expected;
+  ref_u64(expected, 5);     // global_first
+  ref_u64(expected, 4);     // row_count (of the full message this thins)
+  ref_u64(expected, 2);     // points
+  ref_u64(expected, 11);    // sender_iteration
+  ref_u64(expected, 9);     // sender_components
+  ref_f64(expected, 1.0);   // sender_residual
+  ref_f64(expected, -2.0);  // sender_load
+  ref_u64(expected, 7);     // base_epoch
+  ref_u64(expected, 2);     // changed-row count
+  ref_u64(expected, 1);     // row index 1
+  ref_u64(expected, 3);     // row index 3
+  ref_f64(expected, 0.5);   // rows, row-major
+  ref_f64(expected, 2.0);
+  ref_f64(expected, 1.0);
+  ref_f64(expected, -2.0);
+  ASSERT_EQ(bytes.size(), kFrameHeaderBytes + expected.size());
+  ASSERT_EQ(expected.size(), msg.byte_size());  // accounting matches wire
+  EXPECT_EQ(bytes[6],
+            static_cast<std::uint8_t>(FrameType::kBoundaryDelta));
+  EXPECT_TRUE(std::equal(expected.begin(), expected.end(),
+                         bytes.begin() + kFrameHeaderBytes));
+}
+
+TEST(NetWireGolden, TraceCommsLayout) {
+  std::vector<trace::CommsRecord> records(1);
+  records[0].src = 1;
+  records[0].dst = 2;
+  records[0].frames_sent = 10;
+  records[0].frames_full = 3;
+  records[0].frames_delta = 7;
+  records[0].frames_suppressed = 2;
+  records[0].rows_suppressed = 40;
+  records[0].bytes_sent = 1000;
+  records[0].bytes_received = 900;
+  std::vector<std::uint8_t> bytes;
+  encode_trace_comms(records, bytes);
+
+  std::vector<std::uint8_t> expected;
+  ref_u64(expected, 1);     // record count
+  ref_u64(expected, 1);     // src
+  ref_u64(expected, 2);     // dst
+  ref_u64(expected, 10);    // frames_sent
+  ref_u64(expected, 3);     // frames_full
+  ref_u64(expected, 7);     // frames_delta
+  ref_u64(expected, 2);     // frames_suppressed
+  ref_u64(expected, 40);    // rows_suppressed
+  ref_u64(expected, 1000);  // bytes_sent
+  ref_u64(expected, 900);   // bytes_received
+  ASSERT_EQ(bytes.size(), kFrameHeaderBytes + expected.size());
+  EXPECT_EQ(bytes[6], static_cast<std::uint8_t>(FrameType::kTraceComms));
+  EXPECT_TRUE(std::equal(expected.begin(), expected.end(),
+                         bytes.begin() + kFrameHeaderBytes));
+}
+
 // ---- Round-trip fuzz ---------------------------------------------------
 
 ode::BoundaryMessage random_boundary(std::mt19937_64& rng) {
@@ -300,6 +391,23 @@ ode::BoundaryMessage random_boundary(std::mt19937_64& rng) {
   msg.sender_iteration = rng() % 100000;
   msg.sender_components = rng() % 1000;
   msg.rows = random_rows(rng, msg.row_count * msg.points);
+  return msg;
+}
+
+ode::BoundaryDeltaMessage random_delta(std::mt19937_64& rng) {
+  ode::BoundaryDeltaMessage msg;
+  msg.global_first = rng() % 1000;
+  msg.row_count = 1 + rng() % 6;
+  msg.points = 1 + rng() % 17;
+  msg.sender_iteration = rng() % 100000;
+  msg.sender_components = rng() % 1000;
+  msg.sender_residual = random_double(rng);
+  msg.sender_load = random_double(rng);
+  msg.base_epoch = rng() % 100000;
+  // Ascending unique subset of [0, row_count).
+  for (std::size_t i = 0; i < msg.row_count; ++i)
+    if (rng() % 2 == 0) msg.row_indices.push_back(i);
+  msg.rows = random_rows(rng, msg.row_indices.size() * msg.points);
   return msg;
 }
 
@@ -418,7 +526,7 @@ TEST(NetWireFuzz, RoundTrip1000Seeds) {
     EXPECT_EQ(result2.min_components_seen, result.min_components_seen);
     EXPECT_TRUE(same_bits(result2.rows, result.rows)) << "seed " << seed;
 
-    const Hello hello{1 + rng() % 63, 64};
+    const Hello hello{1 + rng() % 63, 64, rng() % 4};
     bytes.clear();
     encode_hello(hello, bytes);
     view = must_extract(bytes);
@@ -426,6 +534,7 @@ TEST(NetWireFuzz, RoundTrip1000Seeds) {
     ASSERT_TRUE(decode_hello(view.payload, hello2));
     EXPECT_EQ(hello2.rank, hello.rank);
     EXPECT_EQ(hello2.processors, hello.processors);
+    EXPECT_EQ(hello2.features, hello.features);
 
     bool goodbye_failed = rng() % 2 == 0;
     bytes.clear();
@@ -434,6 +543,93 @@ TEST(NetWireFuzz, RoundTrip1000Seeds) {
     bool goodbye_failed2 = !goodbye_failed;
     ASSERT_TRUE(decode_goodbye(view.payload, goodbye_failed2));
     EXPECT_EQ(goodbye_failed2, goodbye_failed);
+  }
+}
+
+TEST(NetWireFuzz, BoundaryDeltaRoundTripAndScatterGatherParity) {
+  for (std::uint64_t seed = 0; seed < 500; ++seed) {
+    std::mt19937_64 rng(seed * 31 + 1);
+    const ode::BoundaryDeltaMessage msg = random_delta(rng);
+    std::vector<std::uint8_t> bytes;
+    encode_boundary_delta(msg, bytes);
+    ASSERT_EQ(bytes.size(), kFrameHeaderBytes + msg.byte_size());
+    const FrameView view = must_extract(bytes);
+    ASSERT_EQ(view.header.type, FrameType::kBoundaryDelta);
+    ode::BoundaryDeltaMessage msg2;
+    ASSERT_TRUE(decode_boundary_delta(view.payload, msg2)) << "seed "
+                                                           << seed;
+    EXPECT_EQ(msg2.global_first, msg.global_first);
+    EXPECT_EQ(msg2.row_count, msg.row_count);
+    EXPECT_EQ(msg2.points, msg.points);
+    EXPECT_EQ(msg2.sender_iteration, msg.sender_iteration);
+    EXPECT_EQ(msg2.sender_components, msg.sender_components);
+    EXPECT_TRUE(same_bits(msg2.sender_residual, msg.sender_residual));
+    EXPECT_TRUE(same_bits(msg2.sender_load, msg.sender_load));
+    EXPECT_EQ(msg2.base_epoch, msg.base_epoch);
+    EXPECT_EQ(msg2.row_indices, msg.row_indices);
+    EXPECT_TRUE(same_bits(msg2.rows, msg.rows)) << "seed " << seed;
+
+    // The scatter-gather encoder (header array + pooled payload, CRC
+    // fused into the encode pass) must be bitwise identical to the
+    // contiguous encoder once reassembled.
+    FrameHeaderArray header;
+    std::vector<std::uint8_t> payload;
+    encode_boundary_delta_sg(msg, header, payload);
+    std::vector<std::uint8_t> assembled(header.begin(), header.end());
+    assembled.insert(assembled.end(), payload.begin(), payload.end());
+    EXPECT_EQ(assembled, bytes) << "seed " << seed;
+  }
+}
+
+TEST(NetWireFuzz, ScatterGatherMatchesContiguousEncoders) {
+  // Every frame kind the transport sends through iovecs must reassemble
+  // to exactly what the contiguous encoder produces.
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    std::mt19937_64 rng(seed * 613 + 7);
+
+    std::vector<std::uint8_t> contiguous;
+    FrameHeaderArray header;
+    std::vector<std::uint8_t> payload;
+
+    const ode::BoundaryMessage boundary = random_boundary(rng);
+    encode_boundary(boundary, contiguous);
+    encode_boundary_sg(boundary, header, payload);
+    std::vector<std::uint8_t> assembled(header.begin(), header.end());
+    assembled.insert(assembled.end(), payload.begin(), payload.end());
+    EXPECT_EQ(assembled, contiguous) << "boundary seed " << seed;
+
+    const ode::MigrationPayload migration = random_migration(rng);
+    contiguous.clear();
+    payload.clear();
+    encode_migration(migration, contiguous);
+    encode_migration_sg(migration, header, payload);
+    assembled.assign(header.begin(), header.end());
+    assembled.insert(assembled.end(), payload.begin(), payload.end());
+    EXPECT_EQ(assembled, contiguous) << "migration seed " << seed;
+
+    const algo::ControlFrame control = random_control(rng);
+    contiguous.clear();
+    payload.clear();
+    encode_control(control, contiguous);
+    encode_control_sg(control, header, payload);
+    assembled.assign(header.begin(), header.end());
+    assembled.insert(assembled.end(), payload.begin(), payload.end());
+    EXPECT_EQ(assembled, contiguous) << "control seed " << seed;
+
+    const bool failed = rng() % 2 == 0;
+    contiguous.clear();
+    payload.clear();
+    encode_goodbye(failed, contiguous);
+    encode_goodbye_sg(failed, header, payload);
+    assembled.assign(header.begin(), header.end());
+    assembled.insert(assembled.end(), payload.begin(), payload.end());
+    EXPECT_EQ(assembled, contiguous) << "goodbye seed " << seed;
+
+    contiguous.clear();
+    encode_empty(FrameType::kTokenRequest, contiguous);
+    encode_empty_sg(FrameType::kTokenRequest, header);
+    assembled.assign(header.begin(), header.end());
+    EXPECT_EQ(assembled, contiguous) << "empty seed " << seed;
   }
 }
 
@@ -507,6 +703,35 @@ TEST(NetWireFuzz, TraceRecordRoundTrip) {
       EXPECT_EQ(migrations2[i].dst, migrations[i].dst);
       EXPECT_EQ(migrations2[i].components, migrations[i].components);
     }
+
+    std::vector<trace::CommsRecord> comms(rng() % 20);
+    for (auto& record : comms) {
+      record.src = rng() % 8;
+      record.dst = rng() % 8;
+      record.frames_sent = rng() % 100000;
+      record.frames_full = rng() % 100000;
+      record.frames_delta = rng() % 100000;
+      record.frames_suppressed = rng() % 100000;
+      record.rows_suppressed = rng() % 100000;
+      record.bytes_sent = rng() % 100000000;
+      record.bytes_received = rng() % 100000000;
+    }
+    bytes.clear();
+    encode_trace_comms(comms, bytes);
+    view = must_extract(bytes);
+    ASSERT_EQ(view.header.type, FrameType::kTraceComms);
+    std::vector<trace::CommsRecord> comms2;
+    ASSERT_TRUE(decode_trace_comms(view.payload, comms2));
+    ASSERT_EQ(comms2.size(), comms.size());
+    for (std::size_t i = 0; i < comms.size(); ++i) {
+      EXPECT_EQ(comms2[i].src, comms[i].src);
+      EXPECT_EQ(comms2[i].dst, comms[i].dst);
+      EXPECT_EQ(comms2[i].frames_sent, comms[i].frames_sent);
+      EXPECT_EQ(comms2[i].frames_delta, comms[i].frames_delta);
+      EXPECT_EQ(comms2[i].rows_suppressed, comms[i].rows_suppressed);
+      EXPECT_EQ(comms2[i].bytes_sent, comms[i].bytes_sent);
+      EXPECT_EQ(comms2[i].bytes_received, comms[i].bytes_received);
+    }
   }
 }
 
@@ -564,6 +789,86 @@ TEST(NetWireReject, RandomCorruptionNeverCrashes) {
       ode::BoundaryMessage msg;
       (void)decode_boundary(view.payload, msg);  // must not crash
     }
+  }
+}
+
+std::vector<std::uint8_t> sample_delta_frame() {
+  std::mt19937_64 rng(1234);
+  ode::BoundaryDeltaMessage msg = random_delta(rng);
+  // Guarantee at least one carried row so the frame exercises every
+  // payload section.
+  if (msg.row_indices.empty()) {
+    msg.row_indices.push_back(0);
+    msg.rows = random_rows(rng, msg.points);
+  }
+  std::vector<std::uint8_t> bytes;
+  encode_boundary_delta(msg, bytes);
+  return bytes;
+}
+
+TEST(NetWireReject, DeltaEveryTruncationNeedsMore) {
+  const std::vector<std::uint8_t> frame = sample_delta_frame();
+  for (std::size_t len = 0; len < frame.size(); ++len) {
+    FrameView view;
+    const std::span<const std::uint8_t> prefix(frame.data(), len);
+    EXPECT_EQ(try_extract_frame(prefix, view), DecodeStatus::kNeedMore)
+        << "prefix length " << len;
+  }
+}
+
+TEST(NetWireReject, DeltaEveryByteFlipIsRejected) {
+  // Same guarantee the full boundary frame gives: no single-byte
+  // corruption may yield a frame that decodes and silently passes.
+  const std::vector<std::uint8_t> frame = sample_delta_frame();
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    for (std::uint8_t flip : {std::uint8_t{0x01}, std::uint8_t{0x80}}) {
+      std::vector<std::uint8_t> corrupt = frame;
+      corrupt[i] ^= flip;
+      FrameView view;
+      EXPECT_NE(try_extract_frame(corrupt, view), DecodeStatus::kOk)
+          << "byte " << i;
+    }
+  }
+}
+
+/// CRC-valid delta frames whose payloads lie about their own shape: the
+/// decoder must reject each by status, never trust the counts.
+TEST(NetWireReject, DeltaMalformedIndicesAndCounts) {
+  struct Case {
+    const char* name;
+    std::vector<std::size_t> indices;
+    std::size_t row_count;
+    std::size_t points;
+    std::size_t rows;  // doubles actually written
+  };
+  const Case cases[] = {
+      {"index out of range", {4}, 4, 2, 2},
+      {"descending indices", {2, 1}, 4, 2, 4},
+      {"duplicate index", {1, 1}, 4, 2, 4},
+      {"rows shorter than promised", {0, 2}, 4, 2, 2},
+      {"rows longer than promised", {0}, 4, 2, 4},
+      {"more changed rows than the full message has", {0, 1, 2}, 2, 1, 3},
+  };
+  for (const Case& c : cases) {
+    std::vector<std::uint8_t> bytes;
+    const std::size_t start = begin_frame(bytes, FrameType::kBoundaryDelta);
+    WireWriter w(bytes);
+    w.size(0);            // global_first
+    w.size(c.row_count);  // row_count
+    w.size(c.points);     // points
+    w.size(1);            // sender_iteration
+    w.size(1);            // sender_components
+    w.f64(0.0);           // sender_residual
+    w.f64(0.0);           // sender_load
+    w.size(1);            // base_epoch
+    w.size(c.indices.size());
+    for (const std::size_t idx : c.indices) w.size(idx);
+    for (std::size_t i = 0; i < c.rows; ++i) w.f64(1.0);
+    end_frame(bytes, start);
+    FrameView view;
+    ASSERT_EQ(try_extract_frame(bytes, view), DecodeStatus::kOk) << c.name;
+    ode::BoundaryDeltaMessage out;
+    EXPECT_FALSE(decode_boundary_delta(view.payload, out)) << c.name;
   }
 }
 

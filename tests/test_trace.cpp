@@ -94,6 +94,41 @@ TEST(ExecutionTraceTest, MigrationsCsv) {
   EXPECT_NE(out.str().find("0,1,3,2"), std::string::npos);
 }
 
+TEST(ExecutionTraceTest, CommsCsvSumsPerDirectedLink) {
+  // Merged per-rank traces can each hold a partial record for the same
+  // link (sender counters and receiver counters arrive separately); the
+  // CSV must sum them per (src,dst) and emit links in sorted order.
+  ExecutionTrace t;
+  t.record_comms({1, 0, 10, 2, 8, 1, 16, 2000, 0});
+  t.record_comms({0, 1, 12, 3, 9, 0, 20, 2400, 1900});
+  t.record_comms({1, 0, 0, 0, 0, 0, 0, 0, 2400});  // receiver half
+  EXPECT_EQ(t.comms().size(), 3u);
+
+  std::ostringstream out;
+  t.write_comms_csv(out);
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("src,dst,frames_sent,frames_full,frames_delta,"
+                     "frames_suppressed,rows_suppressed,bytes_sent,"
+                     "bytes_received"),
+            std::string::npos);
+  // Link 1->0 summed across its two partial records.
+  EXPECT_NE(csv.find("1,0,10,2,8,1,16,2000,2400"), std::string::npos);
+  // Sorted: 0->1 printed before 1->0.
+  EXPECT_LT(csv.find("0,1,12,3,9,0,20,2400,1900"),
+            csv.find("1,0,10,2,8,1,16,2000,2400"));
+}
+
+TEST(ExecutionTraceTest, MergeCarriesCommsRecords) {
+  ExecutionTrace rank0, rank1, merged;
+  rank0.record_comms({0, 1, 5, 1, 4, 0, 8, 600, 500});
+  rank1.record_comms({1, 0, 6, 2, 4, 1, 8, 700, 600});
+  merged.merge(rank0);
+  merged.merge(rank1);
+  ASSERT_EQ(merged.comms().size(), 2u);
+  EXPECT_EQ(merged.comms()[0].src, 0u);
+  EXPECT_EQ(merged.comms()[1].bytes_sent, 700u);
+}
+
 TEST(ExecutionTraceTest, MergeCombinesPerRankTraces) {
   // The multi-process backend's aggregation step: every rank records its
   // own trace and the launcher folds them into one.
